@@ -1,0 +1,475 @@
+//! AppSAT and Double-DIP — the approximate / strengthened SAT-attack
+//! variants cited in the paper's related work (§II-B).
+//!
+//! * **AppSAT** (Shamsi et al., HOST 2017) interleaves the exact DIP loop
+//!   with random-query error estimation and settles for an *approximate*
+//!   key once the observed error rate drops below a threshold — effective
+//!   against low-corruptibility point functions (Anti-SAT), and a relevant
+//!   adversary for any scheme whose wrong keys corrupt rarely.
+//! * **Double-DIP** (Shen & Zhou, GLSVLSI 2017) constrains each iteration
+//!   to find input patterns that eliminate *at least two* wrong keys at
+//!   once, defeating SARLock-style one-key-per-DIP defenses.
+//!
+//! Both are built here on the scan-view model of [`crate::sat_attack`].
+//! Against Cute-Lock they fare no better than the exact attack: the
+//! approximate key AppSAT returns is still a *constant* key, so its error
+//! rate can never reach zero, and the run ends in a (labeled) approximate
+//! wrong key; Double-DIP's pair constraint just reaches the `CNS` dead end
+//! in fewer iterations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cutelock_core::{KeyValue, LockedCircuit};
+use cutelock_netlist::unroll::scan_view;
+use cutelock_netlist::NetId;
+use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sim::NetlistOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::encode::{const_lit, model_values};
+use crate::outcome::verify_candidate_key;
+use crate::{AttackBudget, AttackOutcome, AttackReport};
+
+/// Settings specific to AppSAT.
+#[derive(Debug, Clone, Copy)]
+pub struct AppSatConfig {
+    /// Run the error estimation every this many DIP iterations.
+    pub settle_every: usize,
+    /// Number of random queries per estimation round.
+    pub queries: usize,
+    /// Accept the key when the estimated error rate is at or below this.
+    pub error_threshold: f64,
+}
+
+impl Default for AppSatConfig {
+    fn default() -> Self {
+        Self {
+            settle_every: 4,
+            queries: 64,
+            error_threshold: 0.0,
+        }
+    }
+}
+
+/// Shared scan-view attack state for the two variants.
+struct ScanModel<'a> {
+    locked: &'a LockedCircuit,
+    sv: cutelock_netlist::unroll::ScanView,
+    data_inputs: Vec<NetId>,
+    shared_ffs: Vec<usize>,
+    solver: Solver,
+    k1: Vec<Lit>,
+    k2: Vec<Lit>,
+    xs: Vec<Lit>,
+    ss: Vec<Lit>,
+    obs1: Vec<Lit>,
+    obs2: Vec<Lit>,
+    oracle: NetlistOracle,
+}
+
+impl<'a> ScanModel<'a> {
+    fn new(locked: &'a LockedCircuit, budget: &AttackBudget) -> Option<Self> {
+        let ki = locked.netlist.key_inputs().len();
+        if ki == 0 {
+            return None;
+        }
+        let sv = scan_view(&locked.netlist).ok()?;
+        let oracle = NetlistOracle::new(locked.original.clone()).ok()?;
+        let orig_q: Vec<String> = locked
+            .original
+            .dffs()
+            .iter()
+            .map(|ff| locked.original.net_name(ff.q()).to_string())
+            .collect();
+        let locked_q: Vec<String> = locked
+            .netlist
+            .dffs()
+            .iter()
+            .map(|ff| locked.netlist.net_name(ff.q()).to_string())
+            .collect();
+        let shared_ffs: Vec<usize> = orig_q
+            .iter()
+            .map(|name| locked_q.iter().position(|n| n == name).expect("shared FF"))
+            .collect();
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(budget.conflict_budget);
+        let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+        let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+        let data_inputs = locked.netlist.data_inputs();
+        let xs: Vec<Lit> = (0..data_inputs.len())
+            .map(|_| Lit::positive(solver.new_var()))
+            .collect();
+        let ss: Vec<Lit> = (0..locked.netlist.dff_count())
+            .map(|_| Lit::positive(solver.new_var()))
+            .collect();
+        let mut model = Self {
+            locked,
+            sv,
+            data_inputs,
+            shared_ffs,
+            solver,
+            k1,
+            k2,
+            xs,
+            ss,
+            obs1: Vec::new(),
+            obs2: Vec::new(),
+            oracle,
+        };
+        let k1c = model.k1.clone();
+        let k2c = model.k2.clone();
+        let xsc = model.xs.clone();
+        let ssc = model.ss.clone();
+        let (po1, ns1) = model.encode_copy(&k1c, &xsc, &ssc);
+        let (po2, ns2) = model.encode_copy(&k2c, &xsc, &ssc);
+        model.obs1 = po1.into_iter().chain(ns1).collect();
+        model.obs2 = po2.into_iter().chain(ns2).collect();
+        Some(model)
+    }
+
+    fn sv_net(&self, id: NetId) -> NetId {
+        self.sv
+            .netlist
+            .find_net(self.locked.netlist.net_name(id))
+            .expect("net present in scan view")
+    }
+
+    /// Encodes one copy; returns `(po lits, shared next-state lits)`.
+    fn encode_copy(&mut self, keys: &[Lit], xs: &[Lit], ss: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let mut map: HashMap<NetId, Lit> = HashMap::new();
+        for (&kid, &l) in self.locked.netlist.key_inputs().iter().zip(keys) {
+            map.insert(self.sv_net(kid), l);
+        }
+        for (&did, &l) in self.data_inputs.clone().iter().zip(xs) {
+            map.insert(self.sv_net(did), l);
+        }
+        for (&sid, &l) in self.sv.state_inputs.clone().iter().zip(ss) {
+            map.insert(sid, l);
+        }
+        let cnf =
+            tseitin::encode(&self.sv.netlist, &mut self.solver, &map).expect("combinational");
+        let pos: Vec<Lit> = self
+            .locked
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| cnf.lit(self.sv_net(o)))
+            .collect();
+        let next: Vec<Lit> = self
+            .shared_ffs
+            .iter()
+            .map(|&f| cnf.lit(self.sv.next_state_outputs[f]))
+            .collect();
+        (pos, next)
+    }
+
+    /// Adds oracle-consistency constraints for one scan pattern, for both
+    /// key copies.
+    fn constrain_pattern(&mut self, x: &[bool], s: &[bool]) {
+        let s_shared: Vec<bool> = self.shared_ffs.iter().map(|&f| s[f]).collect();
+        let (y, s_next) = self.oracle.scan_query(&s_shared, x);
+        for keys in [self.k1.clone(), self.k2.clone()] {
+            let xc: Vec<Lit> = x.iter().map(|&b| const_lit(&mut self.solver, b)).collect();
+            let sc: Vec<Lit> = s.iter().map(|&b| const_lit(&mut self.solver, b)).collect();
+            let (pos, next) = self.encode_copy(&keys, &xc, &sc);
+            for (&p, &v) in pos.iter().zip(&y) {
+                self.solver.add_clause(&[if v { p } else { !p }]);
+            }
+            for (&p, &v) in next.iter().zip(&s_next) {
+                self.solver.add_clause(&[if v { p } else { !p }]);
+            }
+        }
+    }
+
+    /// Estimated error rate of candidate `key` over random scan queries.
+    fn estimate_error(&mut self, key: &KeyValue, queries: usize, rng: &mut StdRng) -> f64 {
+        use cutelock_core::LockedOracle;
+        use cutelock_sim::SequentialOracle;
+        let Ok(mut lo) = LockedOracle::with_constant_key(self.locked, key.clone()) else {
+            return 1.0;
+        };
+        let Ok(mut orig) = NetlistOracle::new(self.locked.original.clone()) else {
+            return 1.0;
+        };
+        lo.reset();
+        orig.reset();
+        let n = self.locked.original.input_count();
+        let mut bad = 0usize;
+        for _ in 0..queries {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            if lo.step(&inputs) != orig.step(&inputs) {
+                bad += 1;
+            }
+        }
+        bad as f64 / queries.max(1) as f64
+    }
+}
+
+/// Runs AppSAT on `locked`.
+///
+/// Returns [`AttackOutcome::KeyFound`] only when the settled key verifies
+/// exactly; an approximate key that still errs is reported as
+/// [`AttackOutcome::WrongKey`] (the paper's `x..x`).
+pub fn appsat_attack(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    config: &AppSatConfig,
+) -> AttackReport {
+    let start = Instant::now();
+    let mk = |outcome, iterations| AttackReport {
+        outcome,
+        elapsed: start.elapsed(),
+        iterations,
+        bound: 1,
+    };
+    let Some(mut m) = ScanModel::new(locked, budget) else {
+        return mk(AttackOutcome::Fail, 0);
+    };
+    let mut rng = StdRng::seed_from_u64(0xa995a7);
+    let diff = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
+    let mut iterations = 0usize;
+    loop {
+        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+            return mk(AttackOutcome::Timeout, iterations);
+        };
+        m.solver.set_timeout(Some(rem));
+        match m.solver.solve_with_assumptions(&[diff]) {
+            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                iterations += 1;
+                if iterations > budget.max_iterations {
+                    return mk(AttackOutcome::Timeout, iterations);
+                }
+                let x = model_values(&m.solver, &m.xs);
+                let s = model_values(&m.solver, &m.ss);
+                m.constrain_pattern(&x, &s);
+                if m.solver.solve() == SatResult::Unsat {
+                    return mk(AttackOutcome::Cns, iterations);
+                }
+                // Settle phase: estimate the current candidate's error.
+                if iterations % config.settle_every == 0 {
+                    let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
+                    let err = m.estimate_error(&cand, config.queries, &mut rng);
+                    if err <= config.error_threshold {
+                        return if verify_candidate_key(locked, &cand, 256, 0xa1) {
+                            mk(AttackOutcome::KeyFound(cand), iterations)
+                        } else {
+                            mk(AttackOutcome::WrongKey(cand), iterations)
+                        };
+                    }
+                }
+            }
+        }
+    }
+    match m.solver.solve() {
+        SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
+        SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
+        SatResult::Sat => {
+            let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
+            if verify_candidate_key(locked, &cand, 256, 0xa2) {
+                mk(AttackOutcome::KeyFound(cand), iterations)
+            } else {
+                mk(AttackOutcome::WrongKey(cand), iterations)
+            }
+        }
+    }
+}
+
+/// Runs the Double-DIP attack: each iteration demands an input pattern on
+/// which the two key copies disagree **and** at least one of them also
+/// disagrees with a third key copy — guaranteeing every DIP prunes two or
+/// more wrong keys.
+pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    let start = Instant::now();
+    let mk = |outcome, iterations| AttackReport {
+        outcome,
+        elapsed: start.elapsed(),
+        iterations,
+        bound: 1,
+    };
+    let Some(mut m) = ScanModel::new(locked, budget) else {
+        return mk(AttackOutcome::Fail, 0);
+    };
+    // Third key copy sharing the same inputs.
+    let ki = m.k1.len();
+    let k3: Vec<Lit> = (0..ki).map(|_| Lit::positive(m.solver.new_var())).collect();
+    let (po3, ns3) = {
+        let xs = m.xs.clone();
+        let ss = m.ss.clone();
+        m.encode_copy(&k3, &xs, &ss)
+    };
+    let obs3: Vec<Lit> = po3.into_iter().chain(ns3).collect();
+    let d12 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
+    let d13 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &obs3);
+
+    let mut iterations = 0usize;
+    loop {
+        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+            return mk(AttackOutcome::Timeout, iterations);
+        };
+        m.solver.set_timeout(Some(rem));
+        match m.solver.solve_with_assumptions(&[d12, d13]) {
+            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                iterations += 1;
+                if iterations > budget.max_iterations {
+                    return mk(AttackOutcome::Timeout, iterations);
+                }
+                let x = model_values(&m.solver, &m.xs);
+                let s = model_values(&m.solver, &m.ss);
+                m.constrain_pattern(&x, &s);
+                // Keep the third copy consistent too.
+                {
+                    let s_shared: Vec<bool> = m.shared_ffs.iter().map(|&f| s[f]).collect();
+                    let (y, s_next) = m.oracle.scan_query(&s_shared, &x);
+                    let xc: Vec<Lit> =
+                        x.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
+                    let sc: Vec<Lit> =
+                        s.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
+                    let (pos, next) = m.encode_copy(&k3.clone(), &xc, &sc);
+                    for (&p, &v) in pos.iter().zip(&y) {
+                        m.solver.add_clause(&[if v { p } else { !p }]);
+                    }
+                    for (&p, &v) in next.iter().zip(&s_next) {
+                        m.solver.add_clause(&[if v { p } else { !p }]);
+                    }
+                }
+                if m.solver.solve() == SatResult::Unsat {
+                    return mk(AttackOutcome::Cns, iterations);
+                }
+            }
+        }
+    }
+    // Fall back to the single-miter termination: no pair of distinguishable
+    // keys remains at all, or only double-DIPs are exhausted.
+    loop {
+        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+            return mk(AttackOutcome::Timeout, iterations);
+        };
+        m.solver.set_timeout(Some(rem));
+        match m.solver.solve_with_assumptions(&[d12]) {
+            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                iterations += 1;
+                if iterations > budget.max_iterations {
+                    return mk(AttackOutcome::Timeout, iterations);
+                }
+                let x = model_values(&m.solver, &m.xs);
+                let s = model_values(&m.solver, &m.ss);
+                m.constrain_pattern(&x, &s);
+                if m.solver.solve() == SatResult::Unsat {
+                    return mk(AttackOutcome::Cns, iterations);
+                }
+            }
+        }
+    }
+    match m.solver.solve() {
+        SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
+        SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
+        SatResult::Sat => {
+            let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
+            if verify_candidate_key(locked, &cand, 256, 0xdd) {
+                mk(AttackOutcome::KeyFound(cand), iterations)
+            } else {
+                mk(AttackOutcome::WrongKey(cand), iterations)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::baselines::{TtLock, XorLock};
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+
+    fn quick_budget() -> AttackBudget {
+        AttackBudget {
+            timeout: std::time::Duration::from_secs(30),
+            max_bound: 1,
+            max_iterations: 256,
+            conflict_budget: Some(500_000),
+        }
+    }
+
+    #[test]
+    fn appsat_breaks_xor_lock_exactly() {
+        let lc = XorLock::new(5, 51).lock(&s27()).unwrap();
+        let report = appsat_attack(&lc, &quick_budget(), &AppSatConfig::default());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn appsat_settles_early_on_low_corruption_lock() {
+        // TTLock corrupts on a single input pattern; with a permissive
+        // threshold AppSAT settles for an approximate key quickly.
+        let lc = TtLock::new(4, 9).lock(&s27()).unwrap();
+        let cfg = AppSatConfig {
+            settle_every: 1,
+            queries: 16,
+            error_threshold: 0.1,
+        };
+        let report = appsat_attack(&lc, &quick_budget(), &cfg);
+        assert!(
+            matches!(
+                report.outcome,
+                AttackOutcome::KeyFound(_) | AttackOutcome::WrongKey(_)
+            ),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn appsat_dead_ends_on_multi_key_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 61,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let report = appsat_attack(&lc, &quick_budget(), &AppSatConfig::default());
+        assert!(report.outcome.defense_held(), "got {}", report.outcome);
+    }
+
+    #[test]
+    fn double_dip_breaks_xor_lock() {
+        let lc = XorLock::new(4, 53).lock(&s27()).unwrap();
+        let report = double_dip_attack(&lc, &quick_budget());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn double_dip_dead_ends_on_multi_key_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 62,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let report = double_dip_attack(&lc, &quick_budget());
+        assert!(report.outcome.defense_held(), "got {}", report.outcome);
+    }
+}

@@ -1,0 +1,471 @@
+//! Sequential oracle-guided unrolling attacks (NEOS `bbo` / `int` modes).
+//!
+//! Both attacks search for a **constant key** consistent with the sequential
+//! oracle by unrolling the locked circuit over clock cycles and running the
+//! classic DIP loop per bound:
+//!
+//! 1. build a *miter*: two copies of the unrolled locked circuit sharing the
+//!    input sequence (and, for RANE, the unknown initial state) but carrying
+//!    independent key variables `K1`, `K2`; ask the solver for an input
+//!    sequence on which their outputs differ;
+//! 2. query the oracle (the activated chip, simulated from reset) with that
+//!    sequence and constrain both copies to reproduce the oracle's outputs;
+//! 3. repeat until no discriminating sequence exists at this bound; then
+//!    extract a candidate key, verify it by simulation, and either finish or
+//!    deepen the unrolling.
+//!
+//! The key model is where Cute-Lock bites: once oracle constraints span two
+//! counter times with different scheduled keys, *no* constant key is
+//! consistent — the solver proves the attack's own model unsatisfiable and
+//! the run ends in [`AttackOutcome::Cns`].
+//!
+//! [`BmcMode::Bbo`] rebuilds the solver from scratch at every bound (the
+//! NEOS baseline, slow); [`BmcMode::Int`] extends one incremental solver
+//! frame by frame with assumption-guarded miters (fast). KC2 adds key-bit
+//! fixation on top — see [`crate::kc2`].
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cutelock_core::{KeyValue, LockedCircuit};
+use cutelock_netlist::unroll::{scan_view, ScanView};
+use cutelock_netlist::NetId;
+use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sim::{NetlistOracle, SequentialOracle};
+
+use crate::encode::{const_lit, model_values};
+use crate::outcome::verify_candidate_key;
+use crate::{AttackBudget, AttackOutcome, AttackReport};
+
+/// Which unrolling strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmcMode {
+    /// Re-solve from scratch at every bound (NEOS "BBO").
+    Bbo,
+    /// One incremental solver, frames appended as the bound grows (NEOS
+    /// "INT").
+    Int,
+}
+
+/// How the attacker models the initial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitModel {
+    /// Known reset state (read from the netlist's flip-flop inits).
+    Reset,
+    /// Unknown initial state, modeled as secret variables shared by all
+    /// copies (the RANE model).
+    Secret,
+}
+
+/// Runs the BBO-mode attack.
+pub fn bbo_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Bbo)
+}
+
+/// Runs the INT-mode attack.
+pub fn int_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Int)
+}
+
+/// One encoded copy-chain's per-frame literals.
+struct Chain {
+    /// Data-input literals per frame (only kept for the first copy).
+    xs: Vec<Vec<Lit>>,
+    /// Primary-output literals per frame.
+    pos: Vec<Vec<Lit>>,
+    /// State literals feeding the *next* frame.
+    state: Vec<Lit>,
+}
+
+/// The shared DIP-loop engine (also used by [`crate::kc2`] and
+/// [`crate::rane`]).
+pub(crate) struct Engine<'a> {
+    locked: &'a LockedCircuit,
+    budget: &'a AttackBudget,
+    init: InitModel,
+    /// KC2 extension: probe and fix implied key bits after each iteration.
+    fix_key_bits: bool,
+    sv: ScanView,
+    data_inputs: Vec<NetId>,
+    start: Instant,
+    iterations: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        locked: &'a LockedCircuit,
+        budget: &'a AttackBudget,
+        init: InitModel,
+        fix_key_bits: bool,
+    ) -> Self {
+        let sv = scan_view(&locked.netlist).expect("locked netlist is well-formed");
+        let data_inputs = locked.netlist.data_inputs();
+        Self {
+            locked,
+            budget,
+            init,
+            fix_key_bits,
+            sv,
+            data_inputs,
+            start: Instant::now(),
+            iterations: 0,
+        }
+    }
+
+    fn remaining(&self) -> Option<std::time::Duration> {
+        self.budget.timeout.checked_sub(self.start.elapsed())
+    }
+
+    fn report(&self, outcome: AttackOutcome, bound: usize) -> AttackReport {
+        AttackReport {
+            outcome,
+            elapsed: self.start.elapsed(),
+            iterations: self.iterations,
+            bound,
+        }
+    }
+
+    /// Looks up the scan-view net corresponding to a locked-netlist net.
+    fn sv_net(&self, id: NetId) -> NetId {
+        self.sv
+            .netlist
+            .find_net(self.locked.netlist.net_name(id))
+            .expect("net present in scan view")
+    }
+
+    /// Encodes one frame (one copy) of the scan view.
+    ///
+    /// * `keys` — literals for the key port;
+    /// * `state_in` — literals for the flip-flop pseudo-inputs;
+    /// * `x_vals` — constants for the data inputs (fresh variables if
+    ///   `None`);
+    /// * `x_shared` — pre-existing data-input literals (shared miter
+    ///   inputs); overrides `x_vals`.
+    ///
+    /// Returns `(data input lits, primary output lits, next-state lits)`.
+    fn encode_frame(
+        &self,
+        solver: &mut Solver,
+        keys: &[Lit],
+        state_in: &[Lit],
+        x_vals: Option<&[bool]>,
+        x_shared: Option<&[Lit]>,
+    ) -> (Vec<Lit>, Vec<Lit>, Vec<Lit>) {
+        let mut shared: HashMap<NetId, Lit> = HashMap::new();
+        for (&kid, &l) in self.locked.netlist.key_inputs().iter().zip(keys) {
+            shared.insert(self.sv_net(kid), l);
+        }
+        let mut xlits = Vec::with_capacity(self.data_inputs.len());
+        for (i, &did) in self.data_inputs.iter().enumerate() {
+            let lit = if let Some(xs) = x_shared {
+                xs[i]
+            } else if let Some(vals) = x_vals {
+                const_lit(solver, vals[i])
+            } else {
+                Lit::positive(solver.new_var())
+            };
+            shared.insert(self.sv_net(did), lit);
+            xlits.push(lit);
+        }
+        for (&sid, &l) in self.sv.state_inputs.iter().zip(state_in) {
+            shared.insert(sid, l);
+        }
+        let cnf = tseitin::encode(&self.sv.netlist, solver, &shared)
+            .expect("scan view is combinational");
+        let pos: Vec<Lit> = self
+            .locked
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| cnf.lit(self.sv_net(o)))
+            .collect();
+        let next: Vec<Lit> = self
+            .sv
+            .next_state_outputs
+            .iter()
+            .map(|&n| cnf.lit(n))
+            .collect();
+        (xlits, pos, next)
+    }
+
+    /// Initial-state literals for a fresh chain: the RANE secret variables
+    /// when provided, otherwise reset constants.
+    fn init_state(&self, solver: &mut Solver, secret: Option<&[Lit]>) -> Vec<Lit> {
+        match (self.init, secret) {
+            (InitModel::Secret, Some(s0)) => s0.to_vec(),
+            _ => self
+                .locked
+                .netlist
+                .dffs()
+                .iter()
+                .map(|ff| const_lit(solver, ff.init().unwrap_or(false)))
+                .collect(),
+        }
+    }
+
+    /// Adds the oracle-consistency constraints for a discriminating input
+    /// sequence: both key copies must reproduce the oracle outputs.
+    fn add_dip_constraints(
+        &self,
+        solver: &mut Solver,
+        k1: &[Lit],
+        k2: &[Lit],
+        secret: Option<&[Lit]>,
+        xseq: &[Vec<bool>],
+        oracle_out: &[Vec<bool>],
+    ) {
+        for keys in [k1, k2] {
+            let mut state = self.init_state(solver, secret);
+            for (xs, ys) in xseq.iter().zip(oracle_out) {
+                let (_, pos, next) = self.encode_frame(solver, keys, &state, Some(xs), None);
+                for (&p, &y) in pos.iter().zip(ys) {
+                    solver.add_clause(&[if y { p } else { !p }]);
+                }
+                state = next;
+            }
+        }
+    }
+
+    /// KC2-style key-bit fixation: probe each still-free key bit under a
+    /// small conflict budget; implied bits get asserted as units, shrinking
+    /// the key condition.
+    fn crunch_key_bits(&self, solver: &mut Solver, k1: &[Lit], fixed: &mut [Option<bool>]) {
+        for (j, &kj) in k1.iter().enumerate() {
+            if fixed[j].is_some() {
+                continue;
+            }
+            solver.set_conflict_budget(Some(2_000));
+            if solver.solve_with_assumptions(&[kj]) == SatResult::Unsat {
+                solver.add_clause(&[!kj]);
+                fixed[j] = Some(false);
+            } else if solver.solve_with_assumptions(&[!kj]) == SatResult::Unsat {
+                solver.add_clause(&[kj]);
+                fixed[j] = Some(true);
+            }
+        }
+        solver.set_conflict_budget(self.budget.conflict_budget);
+    }
+
+    pub(crate) fn run(mut self, mode: BmcMode) -> AttackReport {
+        let ki = self.locked.netlist.key_inputs().len();
+        if ki == 0 {
+            return self.report(AttackOutcome::Fail, 0);
+        }
+        let mut oracle =
+            NetlistOracle::new(self.locked.original.clone()).expect("oracle netlist valid");
+
+        // Remembered DIP sequences with oracle answers (replayed in BBO
+        // mode, where the solver is rebuilt per bound).
+        let mut dips: Vec<(Vec<Vec<bool>>, Vec<Vec<bool>>)> = Vec::new();
+
+        // Solver state: (solver, k1, k2, chain1, chain2, secret-state vars).
+        let mut inc: Option<(Solver, Vec<Lit>, Vec<Lit>, Chain, Chain, Option<Vec<Lit>>)> = None;
+        let mut diff_lits: Vec<Lit> = Vec::new();
+        let mut fixed: Vec<Option<bool>> = vec![None; ki];
+
+        for bound in 1..=self.budget.max_bound {
+            if mode == BmcMode::Bbo || inc.is_none() {
+                let mut solver = Solver::new();
+                solver.set_conflict_budget(self.budget.conflict_budget);
+                let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+                let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+                let secret: Option<Vec<Lit>> = (self.init == InitModel::Secret).then(|| {
+                    (0..self.locked.netlist.dff_count())
+                        .map(|_| Lit::positive(solver.new_var()))
+                        .collect()
+                });
+                let init = self.init_state(&mut solver, secret.as_deref());
+                let c1 = Chain {
+                    xs: Vec::new(),
+                    pos: Vec::new(),
+                    state: init.clone(),
+                };
+                let c2 = Chain {
+                    xs: Vec::new(),
+                    pos: Vec::new(),
+                    state: init,
+                };
+                for (xseq, ys) in &dips {
+                    self.add_dip_constraints(&mut solver, &k1, &k2, secret.as_deref(), xseq, ys);
+                }
+                diff_lits.clear();
+                inc = Some((solver, k1, k2, c1, c2, secret));
+            }
+            let (solver, k1, k2, c1, c2, secret) = inc.as_mut().expect("just built");
+
+            // Extend the miter up to `bound` frames.
+            while c1.pos.len() < bound {
+                let (x, po1, st1) = self.encode_frame(solver, k1, &c1.state, None, None);
+                let (_, po2, st2) = self.encode_frame(solver, k2, &c2.state, None, Some(&x));
+                c1.xs.push(x);
+                c1.pos.push(po1);
+                c1.state = st1;
+                c2.pos.push(po2);
+                c2.state = st2;
+                let t = c1.pos.len() - 1;
+                let d = tseitin::encode_vectors_differ(solver, &c1.pos[t], &c2.pos[t]);
+                diff_lits.push(d);
+            }
+
+            // DIP loop at this bound: assume "some frame's outputs differ".
+            loop {
+                let Some(rem) = self.remaining() else {
+                    return self.report(AttackOutcome::Timeout, bound);
+                };
+                solver.set_timeout(Some(rem));
+                let act = Lit::positive(solver.new_var());
+                let mut cl = vec![!act];
+                cl.extend(diff_lits.iter().copied());
+                solver.add_clause(&cl);
+                match solver.solve_with_assumptions(&[act]) {
+                    SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
+                    SatResult::Unsat => break, // no DIS at this bound
+                    SatResult::Sat => {
+                        self.iterations += 1;
+                        if self.iterations > self.budget.max_iterations {
+                            return self.report(AttackOutcome::Timeout, bound);
+                        }
+                        let xseq: Vec<Vec<bool>> = c1
+                            .xs
+                            .iter()
+                            .map(|frame| model_values(solver, frame))
+                            .collect();
+                        oracle.reset();
+                        let ys: Vec<Vec<bool>> = xseq.iter().map(|x| oracle.step(x)).collect();
+                        self.add_dip_constraints(solver, k1, k2, secret.as_deref(), &xseq, &ys);
+                        dips.push((xseq, ys));
+                        if self.fix_key_bits {
+                            self.crunch_key_bits(solver, k1, &mut fixed);
+                        }
+                        // Consistency: does any constant key remain?
+                        if solver.solve() == SatResult::Unsat {
+                            return self.report(AttackOutcome::Cns, bound);
+                        }
+                    }
+                }
+            }
+
+            // No DIS at this bound: extract and verify a candidate key.
+            match solver.solve() {
+                SatResult::Unsat => return self.report(AttackOutcome::Cns, bound),
+                SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
+                SatResult::Sat => {
+                    let key = KeyValue::from_bits(model_values(solver, k1));
+                    if verify_candidate_key(self.locked, &key, 256, 0xd1f) {
+                        return self.report(AttackOutcome::KeyFound(key), bound);
+                    }
+                    if bound == self.budget.max_bound {
+                        return self.report(AttackOutcome::WrongKey(key), bound);
+                    }
+                    // Deepen the unrolling and keep going.
+                }
+            }
+        }
+        self.report(AttackOutcome::Fail, self.budget.max_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::baselines::XorLock;
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+    use cutelock_core::KeySchedule;
+
+    pub(crate) fn quick_budget() -> AttackBudget {
+        AttackBudget {
+            timeout: std::time::Duration::from_secs(30),
+            max_bound: 6,
+            max_iterations: 64,
+            conflict_budget: Some(500_000),
+        }
+    }
+
+    #[test]
+    fn int_breaks_xor_lock() {
+        let lc = XorLock::new(4, 3).lock(&s27()).unwrap();
+        let report = int_attack(&lc, &quick_budget());
+        match &report.outcome {
+            AttackOutcome::KeyFound(k) => {
+                assert!(verify_candidate_key(&lc, k, 500, 1));
+            }
+            other => panic!("expected KeyFound, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bbo_breaks_xor_lock() {
+        let lc = XorLock::new(3, 7).lock(&s27()).unwrap();
+        let report = bbo_attack(&lc, &quick_budget());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn int_breaks_single_key_cutelock() {
+        // The paper's validation (§IV.A): reduced to one key value,
+        // Cute-Lock is SAT-attackable.
+        let sched = KeySchedule::constant(cutelock_core::KeyValue::from_u64(2, 2), 4);
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 5,
+            schedule: Some(sched),
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let report = int_attack(&lc, &quick_budget());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn int_dead_ends_on_multi_key_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 6,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        assert!(!lc.schedule.is_constant(), "degenerate schedule");
+        let report = int_attack(&lc, &quick_budget());
+        assert!(
+            matches!(
+                report.outcome,
+                AttackOutcome::Cns | AttackOutcome::WrongKey(_)
+            ),
+            "expected CNS or wrong key, got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn bbo_dead_ends_on_multi_key_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 2,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 11,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        assert!(!lc.schedule.is_constant(), "degenerate schedule");
+        let report = bbo_attack(&lc, &quick_budget());
+        assert!(report.outcome.defense_held(), "got {}", report.outcome);
+    }
+}

@@ -1,0 +1,211 @@
+//! Designer-side certification of a locked circuit.
+//!
+//! Simulation-based validation (`LockedCircuit::verify_equivalence`)
+//! samples; this module *proves*, by SAT, that the locked circuit driven
+//! with the correct key schedule is equivalent to the original for **all**
+//! input sequences up to a bounded number of cycles from reset — and,
+//! dually, that a given wrong key provably corrupts some sequence.
+
+use std::collections::HashMap;
+
+use cutelock_core::{KeyValue, LockedCircuit};
+use cutelock_netlist::unroll::{unroll, InitState, KeySharing};
+use cutelock_netlist::NetlistError;
+use cutelock_sat::equiv::EquivResult;
+use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+
+/// Proves bounded equivalence of `locked` (keys driven by the correct
+/// schedule) against its original, for all input sequences of `frames`
+/// cycles from reset.
+///
+/// # Errors
+///
+/// Propagates unrolling/encoding failures.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn prove_locked_equivalence(
+    locked: &LockedCircuit,
+    frames: usize,
+    conflict_budget: Option<u64>,
+) -> Result<EquivResult, NetlistError> {
+    check_key_feed(locked, frames, conflict_budget, |t| {
+        locked.schedule.key_at_cycle(t as u64).clone()
+    })
+    .map(|r| match r {
+        // Equivalent for all sequences = certification success.
+        KeyFeedResult::NeverDiffers => EquivResult::Equivalent,
+        KeyFeedResult::Differs(cex) => EquivResult::Counterexample(cex),
+        KeyFeedResult::Unknown => EquivResult::Unknown,
+    })
+}
+
+/// Proves that applying `wrong` constantly corrupts *some* input sequence
+/// within `frames` cycles (i.e. the lock is not transparent to this key).
+///
+/// Returns the corrupting input sequence, or `None` when the wrong key is
+/// provably transparent within the bound (a red flag for the lock).
+///
+/// # Errors
+///
+/// Propagates unrolling/encoding failures.
+pub fn prove_wrong_key_corrupts(
+    locked: &LockedCircuit,
+    wrong: &KeyValue,
+    frames: usize,
+    conflict_budget: Option<u64>,
+) -> Result<Option<Vec<Vec<bool>>>, NetlistError> {
+    let r = check_key_feed(locked, frames, conflict_budget, |_| wrong.clone())?;
+    Ok(match r {
+        KeyFeedResult::Differs(cex) => Some(cex),
+        _ => None,
+    })
+}
+
+enum KeyFeedResult {
+    NeverDiffers,
+    Differs(Vec<Vec<bool>>),
+    Unknown,
+}
+
+/// Core check: unroll locked and original, bind the locked key port per
+/// frame via `key_of`, share data inputs, and ask for an output difference.
+fn check_key_feed(
+    locked: &LockedCircuit,
+    frames: usize,
+    conflict_budget: Option<u64>,
+    key_of: impl Fn(usize) -> KeyValue,
+) -> Result<KeyFeedResult, NetlistError> {
+    assert!(frames > 0);
+    let ul = unroll(
+        &locked.netlist,
+        frames,
+        InitState::FromInit,
+        KeySharing::PerFrame,
+    )?;
+    let uo = unroll(
+        &locked.original,
+        frames,
+        InitState::FromInit,
+        KeySharing::Shared,
+    )?;
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(conflict_budget);
+    let cnf_l = tseitin::encode(&ul.netlist, &mut solver, &HashMap::new())?;
+    // Pin the locked key port to the fed key, frame by frame.
+    for (t, keys) in ul.frame_keys.iter().enumerate() {
+        let kv = key_of(t);
+        for (&kid, &bit) in keys.iter().zip(kv.bits()) {
+            let l = cnf_l.lit(kid);
+            solver.add_clause(&[if bit { l } else { !l }]);
+        }
+    }
+    // Share the data inputs positionally.
+    let mut shared: HashMap<_, _> = HashMap::new();
+    for t in 0..frames {
+        for (&oi, &li) in uo.frame_inputs[t].iter().zip(&ul.frame_inputs[t]) {
+            shared.insert(oi, cnf_l.lit(li));
+        }
+    }
+    let cnf_o = tseitin::encode(&uo.netlist, &mut solver, &shared)?;
+    let lo: Vec<Lit> = ul
+        .frame_outputs
+        .iter()
+        .flatten()
+        .map(|&o| cnf_l.lit(o))
+        .collect();
+    let oo: Vec<Lit> = uo
+        .frame_outputs
+        .iter()
+        .flatten()
+        .map(|&o| cnf_o.lit(o))
+        .collect();
+    let diff = tseitin::encode_vectors_differ(&mut solver, &lo, &oo);
+    solver.add_clause(&[diff]);
+    Ok(match solver.solve() {
+        SatResult::Unsat => KeyFeedResult::NeverDiffers,
+        SatResult::Unknown => KeyFeedResult::Unknown,
+        SatResult::Sat => {
+            let cex: Vec<Vec<bool>> = (0..frames)
+                .map(|t| {
+                    ul.frame_inputs[t]
+                        .iter()
+                        .map(|&i| solver.lit_value(cnf_l.lit(i)).unwrap_or(false))
+                        .collect()
+                })
+                .collect();
+            KeyFeedResult::Differs(cex)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+    use cutelock_fsm::detector::sequence_detector;
+
+    #[test]
+    fn str_lock_is_provably_equivalent_on_s27() {
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 2,
+            seed: 44,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        // Exhaustive over all 2^(4*10) input sequences of 10 cycles.
+        assert_eq!(
+            prove_locked_equivalence(&locked, 10, None).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn beh_lock_is_provably_equivalent_on_detector() {
+        let locked = CuteLockBeh::new(CuteLockBehConfig {
+            keys: 4,
+            key_bits: 4,
+            wrongful: WrongfulPolicy::RandomTable,
+            seed: 45,
+            schedule: None,
+        })
+        .lock(&sequence_detector("1001"))
+        .unwrap();
+        assert_eq!(
+            prove_locked_equivalence(&locked, 8, None).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn wrong_key_provably_corrupts() {
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 46,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let wrong = locked.schedule.key_at_time(0).flipped(0);
+        let cex = prove_wrong_key_corrupts(&locked, &wrong, 8, None).unwrap();
+        assert!(cex.is_some(), "wrong key must corrupt within 8 cycles");
+        // And the correct key value for time 0, applied constantly, must
+        // also corrupt (it is wrong at time 1).
+        let t0 = locked.schedule.key_at_time(0).clone();
+        if locked.schedule.key_at_time(1) != &t0 {
+            assert!(prove_wrong_key_corrupts(&locked, &t0, 8, None)
+                .unwrap()
+                .is_some());
+        }
+    }
+}

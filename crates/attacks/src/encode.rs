@@ -1,0 +1,35 @@
+//! Shared CNF-encoding helpers for the oracle-guided attacks.
+
+use cutelock_sat::{Lit, Solver};
+
+/// Allocates a literal forced to `value`.
+pub fn const_lit(solver: &mut Solver, value: bool) -> Lit {
+    let v = solver.new_var();
+    let l = Lit::positive(v);
+    solver.add_clause(&[if value { l } else { !l }]);
+    l
+}
+
+/// Extracts the model values of `lits` after a SAT answer.
+pub fn model_values(solver: &Solver, lits: &[Lit]) -> Vec<bool> {
+    lits.iter()
+        .map(|&l| solver.lit_value(l).unwrap_or(false))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_sat::SatResult;
+
+    #[test]
+    fn const_lit_is_forced() {
+        let mut s = Solver::new();
+        let t = const_lit(&mut s, true);
+        let f = const_lit(&mut s, false);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.lit_value(t), Some(true));
+        assert_eq!(s.lit_value(f), Some(false));
+        assert_eq!(model_values(&s, &[t, f]), vec![true, false]);
+    }
+}

@@ -1,0 +1,325 @@
+//! FALL — Functional Analysis attacks on Logic Locking (Sirone &
+//! Subramanyan, DATE 2019).
+//!
+//! FALL is **oracle-less**: it inspects the locked netlist alone. Its
+//! published pipeline, reproduced here:
+//!
+//! 1. **Structural analysis** — locate comparator structures:
+//!    * *restore comparators*: wide ANDs of `XNOR(signal, keyinput)` pairs
+//!      (the unlock unit of TTLock/SFLL);
+//!    * *strip comparators*: wide ANDs of buffered/inverted copies of the
+//!      same signals — the hard-coded protected pattern that
+//!      functionality-stripping leaves in the netlist.
+//! 2. **Functional analysis** — pair strip and restore comparators over the
+//!    same signal set; the strip polarities *are* the candidate key.
+//! 3. **Key confirmation** — a SAT equivalence check: with the candidate
+//!    key applied, the locked circuit must equal the circuit with both
+//!    comparators neutralized (forced to 0).
+//!
+//! On TTLock this finds the key (FALL's paper reports 65/80 = 81% success).
+//! On Cute-Lock-Str there is nothing to find: the only comparators compare
+//! the *key against schedule constants* (no data-signal pattern is encoded
+//! anywhere), and the MUX tree swaps two *existing* state cones instead of
+//! XOR-correcting an output — so candidate count and key count are both 0,
+//! reproducing Table V's FALL columns.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use cutelock_core::{KeyValue, LockedCircuit};
+use cutelock_netlist::unroll::scan_view;
+use cutelock_netlist::{Driver, GateKind, NetId, Netlist};
+use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+
+use crate::encode::const_lit;
+use crate::outcome::verify_candidate_key;
+use crate::AttackOutcome;
+
+/// Result of a FALL run — one row of the paper's Table V FALL columns.
+#[derive(Debug, Clone)]
+pub struct FallReport {
+    /// Comparator-pair candidates found by the structural phase.
+    pub candidates: usize,
+    /// Candidate keys confirmed by the SAT check.
+    pub keys_found: usize,
+    /// Confirmed keys (empty on failure).
+    pub keys: Vec<KeyValue>,
+    /// Overall verdict.
+    pub outcome: AttackOutcome,
+    /// CPU time.
+    pub elapsed: Duration,
+}
+
+/// A detected comparator: the AND root plus the signals it tests.
+#[derive(Debug, Clone)]
+struct Comparator {
+    root: NetId,
+    /// signal net -> polarity (strip) or key input (restore).
+    kind: ComparatorKind,
+}
+
+#[derive(Debug, Clone)]
+enum ComparatorKind {
+    /// AND of BUF/NOT over non-key signals: signal -> required polarity.
+    Strip(BTreeMap<NetId, bool>),
+    /// AND of XNOR(signal, key): signal -> key input net.
+    Restore(BTreeMap<NetId, NetId>),
+}
+
+/// Runs FALL on the locked circuit.
+pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
+    let start = Instant::now();
+    let sv = scan_view(&locked.netlist).expect("locked netlist well-formed");
+    let nl = &sv.netlist;
+    let key_set: Vec<NetId> = nl.key_inputs();
+    let is_key = |id: NetId| key_set.contains(&id);
+
+    // ---- Structural phase -------------------------------------------------
+    let mut strips = Vec::new();
+    let mut restores = Vec::new();
+    for gate in nl.gates() {
+        if gate.kind() != GateKind::And || gate.inputs().len() < 2 {
+            continue;
+        }
+        let mut strip_sig: BTreeMap<NetId, bool> = BTreeMap::new();
+        let mut restore_sig: BTreeMap<NetId, NetId> = BTreeMap::new();
+        let mut is_strip = true;
+        let mut is_restore = true;
+        for &inp in gate.inputs() {
+            match classify_literal(nl, inp, &is_key) {
+                Some(CmpLit::Pattern(sig, pol)) if !is_key(sig) => {
+                    strip_sig.insert(sig, pol);
+                    is_restore = false;
+                }
+                Some(CmpLit::KeyPair(sig, key)) if !is_key(sig) => {
+                    restore_sig.insert(sig, key);
+                    is_strip = false;
+                }
+                _ => {
+                    is_strip = false;
+                    is_restore = false;
+                }
+            }
+            if !is_strip && !is_restore {
+                break;
+            }
+        }
+        if is_strip && strip_sig.len() == gate.inputs().len() {
+            strips.push(Comparator {
+                root: gate.output(),
+                kind: ComparatorKind::Strip(strip_sig),
+            });
+        } else if is_restore && restore_sig.len() == gate.inputs().len() {
+            restores.push(Comparator {
+                root: gate.output(),
+                kind: ComparatorKind::Restore(restore_sig),
+            });
+        }
+    }
+
+    // ---- Functional phase: pair strip & restore over equal signal sets ----
+    let key_order: HashMap<NetId, usize> = key_set
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+    let mut candidates: Vec<(NetId, NetId, KeyValue)> = Vec::new();
+    for s in &strips {
+        let ComparatorKind::Strip(pattern) = &s.kind else {
+            continue;
+        };
+        for r in &restores {
+            let ComparatorKind::Restore(pairs) = &r.kind else {
+                continue;
+            };
+            if pattern.len() != pairs.len()
+                || !pattern.keys().eq(pairs.keys())
+            {
+                continue;
+            }
+            // Candidate key: for each signal, key bit := strip polarity.
+            let mut bits = vec![false; key_set.len()];
+            let mut covered = vec![false; key_set.len()];
+            for (sig, &pol) in pattern {
+                let key_net = pairs[sig];
+                let pos = key_order[&key_net];
+                bits[pos] = pol;
+                covered[pos] = true;
+            }
+            // Uncovered key bits stay 0 (unconstrained by this comparator).
+            let _ = covered;
+            candidates.push((s.root, r.root, KeyValue::from_bits(bits)));
+        }
+    }
+
+    // ---- Key confirmation (SAT equivalence check) --------------------------
+    let mut keys = Vec::new();
+    for (strip_root, restore_root, cand) in &candidates {
+        if confirm_key(nl, *strip_root, *restore_root, cand)
+            && verify_candidate_key(locked, cand, 256, 0xfa11)
+        {
+            keys.push(cand.clone());
+        }
+    }
+
+    let outcome = if let Some(k) = keys.first() {
+        AttackOutcome::KeyFound(k.clone())
+    } else {
+        AttackOutcome::Fail
+    };
+    FallReport {
+        candidates: candidates.len(),
+        keys_found: keys.len(),
+        keys,
+        outcome,
+        elapsed: start.elapsed(),
+    }
+}
+
+enum CmpLit {
+    /// `sig` required equal to the polarity (BUF = true, NOT = false).
+    Pattern(NetId, bool),
+    /// `XNOR(sig, key)`.
+    KeyPair(NetId, NetId),
+}
+
+fn classify_literal(nl: &Netlist, id: NetId, is_key: &dyn Fn(NetId) -> bool) -> Option<CmpLit> {
+    match nl.net(id).driver() {
+        Driver::Gate(g) => {
+            let gate = &nl.gates()[g];
+            match gate.kind() {
+                GateKind::Buf => Some(CmpLit::Pattern(gate.inputs()[0], true)),
+                GateKind::Not => Some(CmpLit::Pattern(gate.inputs()[0], false)),
+                GateKind::Xnor if gate.inputs().len() == 2 => {
+                    let (a, b) = (gate.inputs()[0], gate.inputs()[1]);
+                    match (is_key(a), is_key(b)) {
+                        (true, false) => Some(CmpLit::KeyPair(b, a)),
+                        (false, true) => Some(CmpLit::KeyPair(a, b)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        }
+        Driver::Input => Some(CmpLit::Pattern(id, true)),
+        _ => None,
+    }
+}
+
+/// SAT check: `locked(X, cand)` must equal the netlist with both comparator
+/// roots forced to 0 (functionality restored + stripping removed).
+fn confirm_key(nl: &Netlist, strip_root: NetId, restore_root: NetId, cand: &KeyValue) -> bool {
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(Some(200_000));
+    // Copy A: keys bound to candidate.
+    let mut shared_a: HashMap<NetId, Lit> = HashMap::new();
+    for (&k, &b) in nl.key_inputs().iter().zip(cand.bits()) {
+        shared_a.insert(k, const_lit(&mut solver, b));
+    }
+    // Shared data inputs between copies.
+    let mut data_lits: HashMap<NetId, Lit> = HashMap::new();
+    for &inp in &nl.inputs().to_vec() {
+        if !nl.key_inputs().contains(&inp) {
+            let l = Lit::positive(solver.new_var());
+            shared_a.insert(inp, l);
+            data_lits.insert(inp, l);
+        }
+    }
+    let Ok(cnf_a) = tseitin::encode(nl, &mut solver, &shared_a) else {
+        return false;
+    };
+
+    // Copy B: comparator roots forced to 0 via a modified netlist.
+    let mut modified = nl.clone();
+    let z = modified
+        .add_gate(GateKind::Const0, modified.fresh_name("fall_zero"), &[])
+        .expect("fresh const");
+    let _ = modified.replace_uses(strip_root, z);
+    let _ = modified.replace_uses(restore_root, z);
+    let mut shared_b: HashMap<NetId, Lit> = HashMap::new();
+    for (&k, &b) in modified.key_inputs().iter().zip(cand.bits()) {
+        shared_b.insert(k, const_lit(&mut solver, b));
+    }
+    for (&inp, &l) in &data_lits {
+        shared_b.insert(inp, l);
+    }
+    let Ok(cnf_b) = tseitin::encode(&modified, &mut solver, &shared_b) else {
+        return false;
+    };
+
+    let oa: Vec<Lit> = nl.outputs().iter().map(|&o| cnf_a.lit(o)).collect();
+    let ob: Vec<Lit> = modified.outputs().iter().map(|&o| cnf_b.lit(o)).collect();
+    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
+    solver.add_clause(&[diff]);
+    solver.solve() == SatResult::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::itc99;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::baselines::TtLock;
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+
+    #[test]
+    fn fall_breaks_ttlock() {
+        let lc = TtLock::new(4, 3).lock(&s27()).unwrap();
+        let report = fall_attack(&lc);
+        assert!(report.candidates >= 1, "no candidates found");
+        assert!(report.keys_found >= 1, "no keys confirmed");
+        assert!(matches!(report.outcome, AttackOutcome::KeyFound(_)));
+    }
+
+    #[test]
+    fn fall_finds_nothing_on_cutelock_str() {
+        for style in [
+            cutelock_core::str_lock::MuxTreeStyle::FullTree,
+            cutelock_core::str_lock::MuxTreeStyle::Comparator,
+        ] {
+            let lc = CuteLockStr::new(CuteLockStrConfig {
+                keys: 4,
+                key_bits: 2,
+                locked_ffs: 2,
+                style,
+                seed: 3,
+                schedule: None,
+                ..Default::default()
+            })
+            .lock(&s27())
+            .unwrap();
+            let report = fall_attack(&lc);
+            assert_eq!(report.candidates, 0, "{style:?}");
+            assert_eq!(report.keys_found, 0, "{style:?}");
+            assert_eq!(report.outcome, AttackOutcome::Fail);
+        }
+    }
+
+    #[test]
+    fn fall_finds_nothing_on_larger_cutelock() {
+        let b10 = itc99("b10").unwrap().netlist;
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 11,
+            locked_ffs: 4,
+            seed: 5,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&b10)
+        .unwrap();
+        let report = fall_attack(&lc);
+        assert_eq!(report.keys_found, 0);
+    }
+
+    #[test]
+    fn fall_on_ttlock_recovers_correct_protected_pattern() {
+        let lc = TtLock::new(5, 9).lock(&itc99("b08").unwrap().netlist).unwrap();
+        let report = fall_attack(&lc);
+        if let AttackOutcome::KeyFound(k) = &report.outcome {
+            assert_eq!(k, lc.schedule.key_at_time(0));
+        } else {
+            panic!("expected key, got {}", report.outcome);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Attacks on logic locking: the evaluation substrate of the Cute-Lock paper.
+//!
+//! The paper tests its locks against the NEOS attack suite (`bbo`, `int`,
+//! KC2 modes), RANE, FALL and DANA — all external tools. This crate
+//! re-implements the published algorithms on the workspace's own SAT solver
+//! and simulators:
+//!
+//! * [`sat_attack`] — the combinational oracle-guided SAT attack
+//!   (Subramanyan et al.), applied through the full-scan view;
+//! * [`bmc`] — sequential unrolling attacks: `BBO` (re-solve per bound) and
+//!   `INT` (incremental bound extension);
+//! * [`kc2`] — key-condition crunching: incremental BMC plus key-bit
+//!   fixation, after Shamsi et al.;
+//! * [`rane`] — RANE-style formal attack modeling the initial state as a
+//!   secret;
+//! * [`fall`] — FALL-style functional analysis (comparator detection +
+//!   candidate extraction + SAT verification), oracle-less;
+//! * [`dana`] — DANA-style dataflow register clustering, scored with
+//!   [`dana::nmi`] against ground-truth register words.
+//!
+//! Every oracle-guided attack reports an [`AttackOutcome`] matching the
+//! paper's table legend: key found (green), wrong key (`x..x`), `CNS`
+//! ("condition not solvable"), `FAIL`, or timeout (`N/A`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appsat;
+pub mod bmc;
+pub mod certify;
+pub mod dana;
+mod encode;
+pub mod fall;
+pub mod kc2;
+mod outcome;
+pub mod rane;
+pub mod sat_attack;
+
+pub use outcome::{AttackBudget, AttackOutcome, AttackReport};

@@ -1,0 +1,256 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015) under the
+//! full-scan assumption.
+//!
+//! With scan access every flip-flop is controllable and observable, so the
+//! attack targets the *combinational core*: pseudo-inputs are the flip-flop
+//! outputs, pseudo-outputs the flip-flop data inputs. The classic DIP loop
+//! then runs on single input patterns instead of sequences.
+//!
+//! The oracle chip exposes only the **functional** state (the original
+//! flip-flops) through its scan chain; state elements added by the lock
+//! (the Cute-Lock counter, DK-Lock's mode register) have no oracle
+//! counterpart. They remain attacker-controlled pseudo-inputs of the locked
+//! model whose next-state is unobservable. This is exactly why Cute-Lock
+//! survives even *with* scan access (paper §I): each DIP pins the counter
+//! to some time `t` and teaches the attacker that the constant key must
+//! equal `schedule[t]` — two DIPs with different times leave no consistent
+//! key and the attack ends in [`AttackOutcome::Cns`].
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cutelock_core::{KeyValue, LockedCircuit};
+use cutelock_netlist::unroll::scan_view;
+use cutelock_netlist::NetId;
+use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sim::NetlistOracle;
+
+use crate::encode::{const_lit, model_values};
+use crate::outcome::verify_candidate_key;
+use crate::{AttackBudget, AttackOutcome, AttackReport};
+
+/// Runs the scan-access oracle-guided SAT attack on `locked`.
+pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    let start = Instant::now();
+    let report = |outcome: AttackOutcome, iterations: usize| AttackReport {
+        outcome,
+        elapsed: start.elapsed(),
+        iterations,
+        bound: 1,
+    };
+    let ki = locked.netlist.key_inputs().len();
+    if ki == 0 {
+        return report(AttackOutcome::Fail, 0);
+    }
+    let sv = scan_view(&locked.netlist).expect("locked netlist is well-formed");
+    let mut oracle = NetlistOracle::new(locked.original.clone()).expect("oracle valid");
+
+    // Shared flip-flops: those whose q-net name exists in the original, in
+    // the original's flip-flop order (the oracle's scan-chain order).
+    let orig_q: Vec<String> = locked
+        .original
+        .dffs()
+        .iter()
+        .map(|ff| locked.original.net_name(ff.q()).to_string())
+        .collect();
+    let locked_q: Vec<String> = locked
+        .netlist
+        .dffs()
+        .iter()
+        .map(|ff| locked.netlist.net_name(ff.q()).to_string())
+        .collect();
+    // For each original FF, its index in the locked FF list.
+    let shared: Vec<usize> = orig_q
+        .iter()
+        .map(|name| {
+            locked_q
+                .iter()
+                .position(|n| n == name)
+                .expect("locking preserves functional flip-flops")
+        })
+        .collect();
+
+    let data_inputs = locked.netlist.data_inputs();
+    let sv_net = |id: NetId| -> NetId {
+        sv.netlist
+            .find_net(locked.netlist.net_name(id))
+            .expect("net present in scan view")
+    };
+
+    // One scan-view copy: returns (po lits, shared-next-state lits).
+    #[allow(clippy::too_many_arguments)]
+    fn encode_copy(
+        solver: &mut Solver,
+        locked: &LockedCircuit,
+        sv: &cutelock_netlist::unroll::ScanView,
+        sv_net: &dyn Fn(NetId) -> NetId,
+        keys: &[Lit],
+        xs: &[Lit],
+        states: &[Lit],
+        data_inputs: &[NetId],
+        shared: &[usize],
+    ) -> (Vec<Lit>, Vec<Lit>) {
+        let mut map: HashMap<NetId, Lit> = HashMap::new();
+        for (&kid, &l) in locked.netlist.key_inputs().iter().zip(keys) {
+            map.insert(sv_net(kid), l);
+        }
+        for (&did, &l) in data_inputs.iter().zip(xs) {
+            map.insert(sv_net(did), l);
+        }
+        for (&sid, &l) in sv.state_inputs.iter().zip(states) {
+            map.insert(sid, l);
+        }
+        let cnf = tseitin::encode(&sv.netlist, solver, &map).expect("combinational");
+        let pos: Vec<Lit> = locked
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&o| cnf.lit(sv_net(o)))
+            .collect();
+        let next: Vec<Lit> = shared
+            .iter()
+            .map(|&f| cnf.lit(sv.next_state_outputs[f]))
+            .collect();
+        (pos, next)
+    }
+
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(budget.conflict_budget);
+    let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+    let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
+    let xs: Vec<Lit> = (0..data_inputs.len())
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    let ss: Vec<Lit> = (0..locked.netlist.dff_count())
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    let (po1, ns1) = encode_copy(
+        &mut solver, locked, &sv, &sv_net, &k1, &xs, &ss, &data_inputs, &shared,
+    );
+    let (po2, ns2) = encode_copy(
+        &mut solver, locked, &sv, &sv_net, &k2, &xs, &ss, &data_inputs, &shared,
+    );
+    let mut obs1 = po1;
+    obs1.extend(ns1);
+    let mut obs2 = po2;
+    obs2.extend(ns2);
+    let diff = tseitin::encode_vectors_differ(&mut solver, &obs1, &obs2);
+
+    let mut iterations = 0usize;
+    loop {
+        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+            return report(AttackOutcome::Timeout, iterations);
+        };
+        solver.set_timeout(Some(rem));
+        match solver.solve_with_assumptions(&[diff]) {
+            SatResult::Unknown => return report(AttackOutcome::Timeout, iterations),
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                iterations += 1;
+                if iterations > budget.max_iterations {
+                    return report(AttackOutcome::Timeout, iterations);
+                }
+                let x_dip = model_values(&solver, &xs);
+                let s_dip = model_values(&solver, &ss);
+                let s_shared: Vec<bool> = shared.iter().map(|&f| s_dip[f]).collect();
+                // Build the full oracle input vector in the original's
+                // declaration order (data inputs only — originals have no
+                // keys).
+                let (y, s_next) = oracle.scan_query(&s_shared, &x_dip);
+                // Constrain both key copies on this pattern.
+                for keys in [&k1, &k2] {
+                    let xc: Vec<Lit> = x_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
+                    let sc: Vec<Lit> = s_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
+                    let (pos, next) = encode_copy(
+                        &mut solver, locked, &sv, &sv_net, keys, &xc, &sc, &data_inputs, &shared,
+                    );
+                    for (&p, &v) in pos.iter().zip(&y) {
+                        solver.add_clause(&[if v { p } else { !p }]);
+                    }
+                    for (&p, &v) in next.iter().zip(&s_next) {
+                        solver.add_clause(&[if v { p } else { !p }]);
+                    }
+                }
+                if solver.solve() == SatResult::Unsat {
+                    return report(AttackOutcome::Cns, iterations);
+                }
+            }
+        }
+    }
+    match solver.solve() {
+        SatResult::Unsat => report(AttackOutcome::Cns, iterations),
+        SatResult::Unknown => report(AttackOutcome::Timeout, iterations),
+        SatResult::Sat => {
+            let key = KeyValue::from_bits(model_values(&solver, &k1));
+            if verify_candidate_key(locked, &key, 256, 0x5a7) {
+                report(AttackOutcome::KeyFound(key), iterations)
+            } else {
+                report(AttackOutcome::WrongKey(key), iterations)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::baselines::{TtLock, XorLock};
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+
+    fn quick_budget() -> AttackBudget {
+        AttackBudget {
+            timeout: std::time::Duration::from_secs(30),
+            max_bound: 1,
+            max_iterations: 256,
+            conflict_budget: Some(500_000),
+        }
+    }
+
+    #[test]
+    fn scan_sat_breaks_xor_lock() {
+        let lc = XorLock::new(6, 41).lock(&s27()).unwrap();
+        let report = scan_sat_attack(&lc, &quick_budget());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn scan_sat_breaks_ttlock() {
+        // FALL's prey; the plain SAT attack also breaks TTLock with scan.
+        let lc = TtLock::new(4, 2).lock(&s27()).unwrap();
+        let report = scan_sat_attack(&lc, &quick_budget());
+        assert!(
+            matches!(report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn scan_sat_dead_ends_on_multi_key_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 31,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        assert!(!lc.schedule.is_constant(), "degenerate schedule");
+        let report = scan_sat_attack(&lc, &quick_budget());
+        assert!(
+            matches!(
+                report.outcome,
+                AttackOutcome::Cns | AttackOutcome::WrongKey(_)
+            ),
+            "got {}",
+            report.outcome
+        );
+    }
+}

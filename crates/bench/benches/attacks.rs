@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the attack kernels (Tables III–V timing
+//! columns): the INT/KC2 dead-end detection on Cute-Lock, key recovery on
+//! the XOR-lock baseline, DANA clustering, and FALL's structural sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutelock_attacks::bmc::int_attack;
+use cutelock_attacks::dana::dana_attack;
+use cutelock_attacks::fall::fall_attack;
+use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::AttackBudget;
+use cutelock_circuits::{itc99, s27::s27};
+use cutelock_core::baselines::XorLock;
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+use cutelock_core::LockedCircuit;
+
+fn budget() -> AttackBudget {
+    AttackBudget {
+        timeout: Duration::from_secs(20),
+        max_bound: 5,
+        max_iterations: 64,
+        conflict_budget: Some(300_000),
+    }
+}
+
+fn lock_s27(keys: usize) -> LockedCircuit {
+    CuteLockStr::new(CuteLockStrConfig {
+        keys,
+        key_bits: 2,
+        locked_ffs: 1,
+        seed: 3,
+        schedule: None,
+        ..Default::default()
+    })
+    .lock(&s27())
+    .expect("locks")
+}
+
+fn bench_oracle_guided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_guided_s27");
+    let multi = lock_s27(4);
+    group.bench_function("int_dead_end_multikey", |b| {
+        b.iter(|| int_attack(&multi, &budget()))
+    });
+    group.bench_function("kc2_dead_end_multikey", |b| {
+        b.iter(|| kc2_attack(&multi, &budget()))
+    });
+    let xor = XorLock::new(4, 3).lock(&s27()).expect("locks");
+    group.bench_function("int_breaks_xorlock", |b| {
+        b.iter(|| int_attack(&xor, &budget()))
+    });
+    group.finish();
+}
+
+fn bench_dana(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dana_clustering");
+    for name in ["b03", "b12", "b14"] {
+        let circuit = itc99(name).expect("exists");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            b.iter(|| dana_attack(&circ.netlist))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fall_sweep");
+    for name in ["b08", "b12"] {
+        let circuit = itc99(name).expect("exists");
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 5,
+            locked_ffs: 4,
+            seed: 5,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&circuit.netlist)
+        .expect("locks");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &locked, |b, lc| {
+            b.iter(|| fall_attack(lc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
+    targets = bench_oracle_guided, bench_dana, bench_fall
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the locking transforms themselves:
+//! how long does it take to lock a circuit, as a function of scheme and
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutelock_circuits::{itc99, synthezza};
+use cutelock_core::baselines::{DkLock, XorLock};
+use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+
+fn bench_str_lock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cute_lock_str");
+    for name in ["b03", "b10", "b12"] {
+        let circuit = itc99(name).expect("benchmark exists");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            b.iter(|| {
+                CuteLockStr::new(CuteLockStrConfig {
+                    keys: 4,
+                    key_bits: 3,
+                    locked_ffs: 2,
+                    seed: 1,
+                    schedule: None,
+                    ..Default::default()
+                })
+                .lock(&circ.netlist)
+                .expect("locks")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_beh_lock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cute_lock_beh");
+    for name in ["cat", "bcomp", "doron"] {
+        let stg = synthezza(name).expect("benchmark exists");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stg, |b, stg| {
+            b.iter(|| {
+                CuteLockBeh::new(CuteLockBehConfig {
+                    keys: 4,
+                    key_bits: 4,
+                    wrongful: WrongfulPolicy::Auto,
+                    seed: 1,
+                    schedule: None,
+                })
+                .lock(stg)
+                .expect("locks")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let circuit = itc99("b10").expect("b10 exists");
+    let mut group = c.benchmark_group("baselines_b10");
+    group.bench_function("xor_lock_16", |b| {
+        b.iter(|| XorLock::new(16, 1).lock(&circuit.netlist).expect("locks"))
+    });
+    group.bench_function("dk_lock_10_10", |b| {
+        b.iter(|| DkLock::new(10, 10, 1).lock(&circuit.netlist).expect("locks"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_str_lock, bench_beh_lock, bench_baselines
+}
+criterion_main!(benches);

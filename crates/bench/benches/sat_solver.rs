@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the CDCL solver and the Tseitin encoder — the
+//! kernels underneath every oracle-guided attack timing in Tables III–IV.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cutelock_circuits::itc99;
+use cutelock_netlist::unroll::{scan_view, unroll, InitState, KeySharing};
+use cutelock_sat::{tseitin, Lit, Solver, Var};
+
+/// Pigeonhole PHP(n+1, n): compact, reliably hard UNSAT instances.
+fn pigeonhole(holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut s = Solver::new();
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for p in vars.iter() {
+        let clause: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                s.add_clause(&[Lit::negative(vars[p1][h]), Lit::negative(vars[p2][h])]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_pigeonhole_unsat");
+    for holes in [5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &h| {
+            b.iter(|| {
+                let mut s = pigeonhole(h);
+                s.solve()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tseitin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tseitin_encode");
+    for name in ["b04", "b12"] {
+        let circuit = itc99(name).expect("exists");
+        let sv = scan_view(&circuit.netlist).expect("scan view");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sv, |b, sv| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                tseitin::encode(&sv.netlist, &mut solver, &HashMap::new()).expect("encodes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unroll_and_solve(c: &mut Criterion) {
+    let circuit = itc99("b03").expect("exists");
+    c.bench_function("unroll_b03_x8_and_sat", |b| {
+        b.iter(|| {
+            let u = unroll(&circuit.netlist, 8, InitState::Zero, KeySharing::Shared)
+                .expect("unrolls");
+            let mut solver = Solver::new();
+            let cnf =
+                tseitin::encode(&u.netlist, &mut solver, &HashMap::new()).expect("encodes");
+            // Satisfy with one output pinned — exercises propagation.
+            let out = u.frame_outputs[7][0];
+            solver.add_clause(&[cnf.lit(out)]);
+            solver.solve()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_pigeonhole, bench_tseitin, bench_unroll_and_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the simulation substrate: scalar three-valued
+//! simulation, 64-lane parallel simulation, and the activity estimator that
+//! feeds the Fig. 4 power model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutelock_circuits::itc99;
+use cutelock_sim::activity::switching_activity;
+use cutelock_sim::{Logic, ParallelSim, Simulator};
+
+fn bench_scalar_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_sim_100_cycles");
+    for name in ["b03", "b12"] {
+        let circuit = itc99(name).expect("exists");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            let inputs = vec![Logic::One; circ.netlist.input_count()];
+            b.iter(|| {
+                let mut sim = Simulator::new(&circ.netlist).expect("compiles");
+                sim.reset();
+                for _ in 0..100 {
+                    sim.cycle_with(&inputs);
+                }
+                sim.output_values()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sim_100_cycles_x64");
+    for name in ["b03", "b12"] {
+        let circuit = itc99(name).expect("exists");
+        group.throughput(Throughput::Elements(6400));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            let words = vec![0xdead_beef_cafe_f00du64; circ.netlist.input_count()];
+            b.iter(|| {
+                let mut sim = ParallelSim::new(&circ.netlist).expect("compiles");
+                sim.reset();
+                for _ in 0..100 {
+                    sim.set_all_inputs(&words);
+                    sim.eval();
+                    sim.step();
+                }
+                sim.output_values()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_activity(c: &mut Criterion) {
+    let circuit = itc99("b12").expect("exists");
+    c.bench_function("switching_activity_b12_300cy", |b| {
+        b.iter(|| switching_activity(&circuit.netlist, 300, 7).expect("works"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_scalar_sim, bench_parallel_sim, bench_activity
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Regenerates **Table IV** — Cute-Lock-Str security against logic attacks.
+//!
+//! Each ISCAS'89 / ITC'99 netlist is locked with Cute-Lock-Str using the
+//! paper's per-circuit `(k, ki)` and attacked with NEOS-style BBO / INT /
+//! KC2 plus the RANE model (secret initial state). Expected: every cell is
+//! `CNS`, a wrong key, or a timeout — never a verified key.
+//!
+//! `--single-key` validates the attacks instead (paper §IV.A).
+
+use cutelock_attacks::bmc::{bbo_attack, int_attack};
+use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::rane::rane_attack;
+use cutelock_bench::params::{in_quick_set, TABLE4_ISCAS, TABLE4_ITC};
+use cutelock_bench::{rule, Options};
+use cutelock_circuits::{iscas89, itc99};
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+use cutelock_core::{KeySchedule, KeyValue};
+
+const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS]\n\
+                     Cute-Lock-Str vs BBO/INT/KC2/RANE on ISCAS'89 + ITC'99 (paper Table IV)";
+
+fn main() {
+    let opt = Options::parse(std::env::args(), USAGE);
+    let budget = opt.budget();
+    println!(
+        "Table IV: Cute-Lock-Str security against logic attacks{}",
+        if opt.single_key {
+            " [single-key reduction — attacks SHOULD succeed]"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<8} {:>3} {:>4}  {:<24} {:<24} {:<24} {:<24}",
+        "Circuit", "k", "ki", "BBO", "INT", "KC2", "RANE"
+    );
+    rule(120);
+
+    let mut resisted = 0usize;
+    let mut recovered = 0usize;
+    let mut ran = 0usize;
+    let suites: [(&str, &[(&str, usize, usize)]); 2] =
+        [("ISCAS'89", TABLE4_ISCAS), ("ITC'99", TABLE4_ITC)];
+    for (suite, rows) in suites {
+        println!("-- {suite}");
+        for &(name, k, ki) in rows {
+            if !opt.selected(name) || (opt.quick && !in_quick_set(name)) {
+                continue;
+            }
+            let circuit = if suite == "ISCAS'89" {
+                iscas89(name)
+            } else {
+                itc99(name)
+            };
+            let circuit = match circuit {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    continue;
+                }
+            };
+            let schedule = if opt.single_key {
+                Some(KeySchedule::constant(
+                    KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
+                    k,
+                ))
+            } else {
+                None
+            };
+            let locked = match CuteLockStr::new(CuteLockStrConfig {
+                keys: k,
+                key_bits: ki,
+                locked_ffs: 1,
+                seed: 0x7ab1e4,
+                schedule,
+                ..Default::default()
+            })
+            .lock(&circuit.netlist)
+            {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("{name}: lock failed: {e}");
+                    continue;
+                }
+            };
+            let bbo = bbo_attack(&locked, &budget);
+            let int = int_attack(&locked, &budget);
+            let kc2 = kc2_attack(&locked, &budget);
+            let rane = rane_attack(&locked, &budget);
+            for r in [&bbo, &int, &kc2, &rane] {
+                if r.outcome.defense_held() {
+                    resisted += 1;
+                } else {
+                    recovered += 1;
+                }
+            }
+            ran += 1;
+            let cell = |r: &cutelock_attacks::AttackReport| {
+                format!("{} {}", r.outcome.label(), r.time_string())
+            };
+            println!(
+                "{:<8} {:>3} {:>4}  {:<24} {:<24} {:<24} {:<24}",
+                name,
+                k,
+                ki,
+                cell(&bbo),
+                cell(&int),
+                cell(&kc2),
+                cell(&rane),
+            );
+        }
+    }
+    rule(120);
+    if opt.single_key {
+        println!(
+            "single-key reduction: {recovered}/{} attack runs recovered the key across {ran} \
+             circuits (paper §IV.A expects recovery)",
+            recovered + resisted
+        );
+    } else {
+        println!(
+            "defense held in {resisted}/{} attack runs across {ran} circuits \
+             (paper: all runs end in CNS / wrong key / timeout)",
+            recovered + resisted
+        );
+        if recovered > 0 {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared machinery for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | binary   | paper artifact | content |
+//! |----------|----------------|---------|
+//! | `table1` | Table I        | Cute-Lock-Beh validation trace (`bcomp`) |
+//! | `table2` | Table II       | Cute-Lock-Str validation trace (`s27`) |
+//! | `table3` | Table III      | Cute-Lock-Beh vs. BBO/INT/KC2 (Synthezza) |
+//! | `table4` | Table IV       | Cute-Lock-Str vs. BBO/INT/KC2/RANE (ISCAS'89 + ITC'99) |
+//! | `table5` | Table V        | DANA NMI + FALL on ITC'99 |
+//! | `fig4`   | Fig. 4         | Overhead vs. DK-Lock on ITC'99 |
+//!
+//! Every binary accepts `--quick` (subset of circuits, smaller budgets) and
+//! prints machine-grep-friendly rows.
+
+#![warn(missing_docs)]
+
+pub mod params;
+
+use std::time::Duration;
+
+use cutelock_attacks::AttackBudget;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Run a reduced circuit set with smaller budgets.
+    pub quick: bool,
+    /// Reduce every schedule to a single repeated key (paper §IV.A
+    /// validation: attacks must then succeed).
+    pub single_key: bool,
+    /// Only this circuit (by name), if given.
+    pub only: Option<String>,
+    /// Per-attack timeout in seconds.
+    pub timeout_secs: u64,
+    /// Include baseline-scheme contrast rows where applicable.
+    pub baselines: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            single_key: false,
+            only: None,
+            timeout_secs: 60,
+            baselines: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`-style flags. Unknown flags abort with a
+    /// usage message.
+    pub fn parse(args: impl Iterator<Item = String>, usage: &str) -> Self {
+        let mut opt = Self::default();
+        let mut args = args.skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => {
+                    opt.quick = true;
+                    opt.timeout_secs = opt.timeout_secs.min(10);
+                }
+                "--single-key" => opt.single_key = true,
+                "--baselines" => opt.baselines = true,
+                "--only" => {
+                    opt.only = args.next();
+                    if opt.only.is_none() {
+                        eprintln!("--only needs a circuit name\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+                "--timeout" => {
+                    opt.timeout_secs = args
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--timeout needs seconds\n{usage}");
+                            std::process::exit(2);
+                        });
+                }
+                "--help" | "-h" => {
+                    println!("{usage}");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag `{other}`\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opt
+    }
+
+    /// The attack budget implied by the options.
+    pub fn budget(&self) -> AttackBudget {
+        AttackBudget {
+            timeout: Duration::from_secs(self.timeout_secs),
+            max_bound: if self.quick { 4 } else { 8 },
+            max_iterations: if self.quick { 48 } else { 192 },
+            conflict_budget: Some(if self.quick { 200_000 } else { 2_000_000 }),
+        }
+    }
+
+    /// Whether this circuit should run.
+    pub fn selected(&self, name: &str) -> bool {
+        self.only.as_deref().map_or(true, |only| only == name)
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        let argv = std::iter::once("bin".to_string())
+            .chain(args.iter().map(|s| s.to_string()));
+        Options::parse(argv, "usage")
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert!(!o.single_key);
+        assert!(o.only.is_none());
+        assert_eq!(o.timeout_secs, 60);
+        assert!(o.selected("anything"));
+    }
+
+    #[test]
+    fn quick_caps_timeout() {
+        let o = parse(&["--quick"]);
+        assert!(o.quick);
+        assert!(o.timeout_secs <= 10);
+        let b = o.budget();
+        assert_eq!(b.max_bound, 4);
+    }
+
+    #[test]
+    fn only_filters_circuits() {
+        let o = parse(&["--only", "b05", "--single-key", "--baselines"]);
+        assert!(o.selected("b05"));
+        assert!(!o.selected("b06"));
+        assert!(o.single_key);
+        assert!(o.baselines);
+    }
+
+    #[test]
+    fn timeout_flag_parses() {
+        let o = parse(&["--timeout", "7"]);
+        assert_eq!(o.timeout_secs, 7);
+        assert_eq!(o.budget().timeout.as_secs(), 7);
+    }
+
+    #[test]
+    fn quick_set_membership() {
+        assert!(params::in_quick_set("b01"));
+        assert!(!params::in_quick_set("b19"));
+        // Every quick-set Synthezza/ISCAS/ITC name exists in a params table.
+        for name in params::QUICK_SET {
+            let known = params::TABLE3.iter().any(|(n, _, _)| n == name)
+                || params::TABLE4_ISCAS.iter().any(|(n, _, _)| n == name)
+                || params::TABLE4_ITC.iter().any(|(n, _, _)| n == name)
+                || *name == "s27";
+            assert!(known, "{name} not in any table");
+        }
+    }
+
+    #[test]
+    fn paper_tables_have_expected_row_counts() {
+        assert_eq!(params::TABLE3.len(), 33);
+        assert_eq!(params::TABLE4_ISCAS.len(), 14);
+        assert_eq!(params::TABLE4_ITC.len(), 20);
+        assert_eq!(params::TABLE5.len(), 20);
+        assert_eq!(params::FIG4_RUNS.len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! ISCAS'89 benchmark equivalents (Table IV of the paper).
+//!
+//! `s27` is the real circuit; every other entry is a seeded synthetic
+//! equivalent with the published interface widths and flip-flop counts.
+//! `s35932` is scaled to 1/3 of its published gate/FF count (documented in
+//! `DESIGN.md` §4) to keep attack experiments tractable.
+
+use cutelock_netlist::NetlistError;
+
+use crate::{profile::Profile, seqgen, BenchmarkCircuit};
+
+/// Published profiles (inputs, outputs, FFs, approximate gates).
+const PROFILES: &[Profile] = &[
+    Profile { name: "s298", inputs: 3, outputs: 6, dffs: 14, gates: 119 },
+    Profile { name: "s349", inputs: 9, outputs: 11, dffs: 15, gates: 161 },
+    Profile { name: "s510", inputs: 19, outputs: 7, dffs: 6, gates: 211 },
+    Profile { name: "s641", inputs: 35, outputs: 24, dffs: 19, gates: 379 },
+    Profile { name: "s713", inputs: 35, outputs: 23, dffs: 19, gates: 393 },
+    Profile { name: "s832", inputs: 18, outputs: 19, dffs: 5, gates: 287 },
+    Profile { name: "s953", inputs: 16, outputs: 23, dffs: 29, gates: 395 },
+    Profile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529 },
+    Profile { name: "s1488", inputs: 8, outputs: 19, dffs: 6, gates: 653 },
+    Profile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779 },
+    Profile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 3000 },
+    Profile { name: "s13207", inputs: 62, outputs: 152, dffs: 400, gates: 3500 },
+    Profile { name: "s15850", inputs: 77, outputs: 150, dffs: 450, gates: 4000 },
+    Profile { name: "s35932", inputs: 35, outputs: 120, dffs: 576, gates: 5400 },
+];
+
+/// Names of the ISCAS'89 circuits evaluated in Table IV, in table order.
+pub fn iscas89_names() -> Vec<&'static str> {
+    let mut names = vec!["s27"];
+    names.extend(PROFILES.iter().map(|p| p.name));
+    names.sort();
+    names
+}
+
+/// Builds the ISCAS'89 benchmark `name`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownNet`] (with the benchmark name) when the
+/// name is not part of the suite.
+pub fn iscas89(name: &str) -> Result<BenchmarkCircuit, NetlistError> {
+    if name == "s27" {
+        let netlist = crate::s27::s27();
+        // s27's three FFs form a single conceptual register.
+        return Ok(BenchmarkCircuit {
+            register_words: vec![(0..netlist.dff_count()).collect()],
+            profile: Profile {
+                name: "s27",
+                inputs: 4,
+                outputs: 1,
+                dffs: 3,
+                gates: 10,
+            },
+            netlist,
+        });
+    }
+    let profile = PROFILES
+        .iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))?;
+    seqgen::generate(profile, 0x1989)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_netlist::NetlistStats;
+
+    #[test]
+    fn all_names_build_and_validate() {
+        for name in iscas89_names() {
+            let c = iscas89(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            c.netlist.validate().unwrap();
+            let st = NetlistStats::of(&c.netlist);
+            assert_eq!(st.dffs, c.profile.dffs, "{name}");
+            assert_eq!(st.inputs, c.profile.inputs, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        assert!(iscas89("s99999").is_err());
+    }
+
+    #[test]
+    fn size_ordering_preserved() {
+        let small = iscas89("s298").unwrap();
+        let large = iscas89("s35932").unwrap();
+        assert!(small.netlist.gate_count() < large.netlist.gate_count() / 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark circuits for the Cute-Lock suite.
+//!
+//! The paper evaluates on three benchmark families:
+//!
+//! * **ISCAS'89** sequential netlists (Table IV) — [`iscas89`];
+//! * **ITC'99** sequential netlists (Tables IV–V, Fig. 4) — [`itc99`];
+//! * **Synthezza** FSM benchmarks (Tables I, III) — [`synthezza`].
+//!
+//! The original suites are not redistributable, so apart from the tiny
+//! ISCAS'89 `s27` (embedded verbatim in [`s27`]) every named benchmark is a
+//! **seeded synthetic equivalent**: a circuit with the same interface widths
+//! and closely matching flip-flop/gate counts, generated deterministically
+//! from the benchmark's name. Registers are built as multi-bit *words* with
+//! shared control — the RTL structure the DANA dataflow attack recovers —
+//! and the ground-truth word grouping is reported alongside the netlist so
+//! NMI can be computed exactly as in the paper. See `DESIGN.md` §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod iscas;
+mod itc;
+mod profile;
+pub mod s27;
+pub mod seqgen;
+mod synthezza;
+
+pub use iscas::{iscas89, iscas89_names};
+pub use itc::{itc99, itc99_names};
+pub use profile::{BenchmarkCircuit, Profile};
+pub use synthezza::{synthezza, synthezza_names, SynthezzaSize};

@@ -1,0 +1,51 @@
+//! Size profiles of the published benchmark suites.
+
+use cutelock_netlist::Netlist;
+
+/// The interface and size profile of a named benchmark.
+///
+/// Figures follow the published suites. For the three largest ITC'99
+/// circuits (`b17`–`b19`) and `s35932` the synthetic equivalents are scaled
+/// down by a documented factor to keep the attack experiments tractable on a
+/// workstation; the *relative ordering* of circuit sizes — which drives
+/// every trend in the paper's tables — is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Benchmark name (`s1196`, `b14`, …).
+    pub name: &'static str,
+    /// Primary inputs (excluding clock/reset, per suite convention).
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Approximate combinational gate target.
+    pub gates: usize,
+}
+
+/// A generated benchmark: the netlist plus ground truth for dataflow
+/// attacks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCircuit {
+    /// The sequential netlist.
+    pub netlist: Netlist,
+    /// Ground-truth register words: each inner vector lists flip-flop
+    /// indices belonging to one RTL word. Used as the NMI reference in the
+    /// DANA experiment (Table V).
+    pub register_words: Vec<Vec<usize>>,
+    /// The profile the circuit was generated from.
+    pub profile: Profile,
+}
+
+impl BenchmarkCircuit {
+    /// Ground-truth word label per flip-flop index.
+    pub fn word_labels(&self) -> Vec<usize> {
+        let mut labels = vec![0usize; self.netlist.dff_count()];
+        for (w, ffs) in self.register_words.iter().enumerate() {
+            for &f in ffs {
+                labels[f] = w;
+            }
+        }
+        labels
+    }
+}

@@ -1,0 +1,402 @@
+//! Seeded generation of word-structured sequential circuits.
+//!
+//! The synthetic ISCAS'89/ITC'99 equivalents need more than random gates:
+//! the DANA experiment (Table V) scores how well a dataflow attack recovers
+//! *register words*, so the generator builds circuits the way RTL synthesis
+//! does:
+//!
+//! * flip-flops are grouped into multi-bit **words** (registers);
+//! * each word computes its next value bit-wise from one or two **source
+//!   words** through a per-word *recipe* (the same small cone replicated
+//!   across the bits, like an adder/mux slice), plus word-shared **control
+//!   signals** (enable/select) derived from a small control register;
+//! * remaining gate budget is spent on output cones and glue logic.
+//!
+//! The ground-truth word partition is returned for NMI scoring.
+
+use cutelock_netlist::{GateKind, NetId, Netlist, NetlistError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BenchmarkCircuit, Profile};
+
+/// Deterministic name hash (FNV-1a), so each benchmark name gets its own
+/// stream.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates a sequential circuit matching `profile`.
+///
+/// The construction is deterministic in `profile.name` and `seed_salt`.
+///
+/// # Errors
+///
+/// Propagates internal netlist construction failures (a bug if it happens).
+pub fn generate(profile: &Profile, seed_salt: u64) -> Result<BenchmarkCircuit, NetlistError> {
+    let mut rng = StdRng::seed_from_u64(name_seed(profile.name) ^ seed_salt ^ 0x5345_5147); // "SEQG"
+    let mut nl = Netlist::new(profile.name);
+
+    // ---- Primary inputs -------------------------------------------------
+    let inputs: Vec<NetId> = (0..profile.inputs.max(1))
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect::<Result<_, _>>()?;
+
+    // ---- Words -----------------------------------------------------------
+    // Control register first (2..=4 bits), then data words until the FF
+    // budget is used.
+    let total_ffs = profile.dffs.max(2);
+    let ctrl_bits = 2 + (rng.gen_range(0..=2)).min(total_ffs.saturating_sub(2));
+    let mut word_sizes = vec![ctrl_bits];
+    let mut remaining = total_ffs - ctrl_bits;
+    while remaining > 0 {
+        let choices = [4usize, 8, 16, 32];
+        let mut w = choices[rng.gen_range(0..choices.len())];
+        if w > remaining {
+            w = remaining;
+        }
+        word_sizes.push(w);
+        remaining -= w;
+    }
+
+    // Allocate q nets for every word bit; d nets are connected later.
+    let mut word_q: Vec<Vec<NetId>> = Vec::with_capacity(word_sizes.len());
+    for (w, &size) in word_sizes.iter().enumerate() {
+        let mut qs = Vec::with_capacity(size);
+        for b in 0..size {
+            qs.push(nl.add_net(format!("r{w}_{b}"))?);
+        }
+        word_q.push(qs);
+    }
+
+    let mut gates = 0usize;
+    let count =
+        |nl: &mut Netlist, kind: GateKind, name: String, ins: &[NetId], g: &mut usize| {
+            *g += 1;
+            nl.add_gate(kind, name, ins)
+        };
+
+    // ---- Control word: an LFSR-ish counter stirred by an input ----------
+    let ctrl = &word_q[0];
+    let stir = inputs[rng.gen_range(0..inputs.len())];
+    let mut ctrl_d = Vec::with_capacity(ctrl.len());
+    for b in 0..ctrl.len() {
+        let prev = ctrl[(b + ctrl.len() - 1) % ctrl.len()];
+        let d = if b == 0 {
+            let fb = count(
+                &mut nl,
+                GateKind::Xor,
+                format!("ctrl_fb{b}"),
+                &[ctrl[ctrl.len() - 1], stir],
+                &mut gates,
+            )?;
+            fb
+        } else {
+            count(
+                &mut nl,
+                GateKind::Buf,
+                format!("ctrl_sh{b}"),
+                &[prev],
+                &mut gates,
+            )?
+        };
+        ctrl_d.push(d);
+    }
+    // Control signals shared by the data words.
+    let en = count(
+        &mut nl,
+        GateKind::Or,
+        "ctl_en".to_string(),
+        &[ctrl[0], inputs[0]],
+        &mut gates,
+    )?;
+    let sel = count(
+        &mut nl,
+        GateKind::And,
+        "ctl_sel".to_string(),
+        &[ctrl[ctrl.len() - 1], inputs[inputs.len() - 1]],
+        &mut gates,
+    )?;
+
+    // ---- Data words -------------------------------------------------------
+    // Each word w >= 1 gets: sources (word indices, may include itself),
+    // a recipe (gate kinds), and a bit-shift for the second operand.
+    #[derive(Clone, Copy)]
+    enum Recipe {
+        XorMux,   // d = MUX(sel, q, a XOR b)
+        AndOr,    // d = (a AND en) OR (b AND q)
+        Adderish, // d = XOR(a, b, q)
+        MuxLoad,  // d = MUX(en, q, a)
+    }
+    let recipes = [
+        Recipe::XorMux,
+        Recipe::AndOr,
+        Recipe::Adderish,
+        Recipe::MuxLoad,
+    ];
+    for w in 1..word_q.len() {
+        let recipe = recipes[rng.gen_range(0..recipes.len())];
+        let src_a = rng.gen_range(1..word_q.len());
+        let src_b = rng.gen_range(0..word_q.len());
+        let shift = rng.gen_range(0..4usize);
+        let size = word_q[w].len();
+        for b in 0..size {
+            let q = word_q[w][b];
+            let a = word_q[src_a][b % word_q[src_a].len()];
+            let bb = word_q[src_b][(b + shift) % word_q[src_b].len()];
+            // Mix in an input bit on a few lanes so words see the PIs.
+            let a = if b % 7 == 3 {
+                let x = inputs[b % inputs.len()];
+                count(
+                    &mut nl,
+                    GateKind::Xor,
+                    format!("w{w}_inmix{b}"),
+                    &[a, x],
+                    &mut gates,
+                )?
+            } else {
+                a
+            };
+            let d = match recipe {
+                Recipe::XorMux => {
+                    let x = count(
+                        &mut nl,
+                        GateKind::Xor,
+                        format!("w{w}_x{b}"),
+                        &[a, bb],
+                        &mut gates,
+                    )?;
+                    count(
+                        &mut nl,
+                        GateKind::Mux,
+                        format!("w{w}_d{b}"),
+                        &[sel, q, x],
+                        &mut gates,
+                    )?
+                }
+                Recipe::AndOr => {
+                    let t1 = count(
+                        &mut nl,
+                        GateKind::And,
+                        format!("w{w}_t1_{b}"),
+                        &[a, en],
+                        &mut gates,
+                    )?;
+                    let t2 = count(
+                        &mut nl,
+                        GateKind::And,
+                        format!("w{w}_t2_{b}"),
+                        &[bb, q],
+                        &mut gates,
+                    )?;
+                    count(
+                        &mut nl,
+                        GateKind::Or,
+                        format!("w{w}_d{b}"),
+                        &[t1, t2],
+                        &mut gates,
+                    )?
+                }
+                Recipe::Adderish => count(
+                    &mut nl,
+                    GateKind::Xor,
+                    format!("w{w}_d{b}"),
+                    &[a, bb, q],
+                    &mut gates,
+                )?,
+                Recipe::MuxLoad => count(
+                    &mut nl,
+                    GateKind::Mux,
+                    format!("w{w}_d{b}"),
+                    &[en, q, a],
+                    &mut gates,
+                )?,
+            };
+            let idx = nl.add_dff(format!("ff_r{w}_{b}"), d, q)?;
+            nl.set_dff_init(idx, Some(false));
+        }
+    }
+    // Control word flip-flops.
+    for (b, (&d, &q)) in ctrl_d.iter().zip(&word_q[0]).enumerate() {
+        let idx = nl.add_dff(format!("ff_r0_{b}"), d, q)?;
+        nl.set_dff_init(idx, Some(false));
+    }
+
+    // ---- Filler logic toward the gate target --------------------------
+    // Pool of signals filler cones may read. Every filler gate is later
+    // folded into an output reduction tree, so none of this logic is dead
+    // (synthesis-style sweeping must not shrink the circuit below its
+    // profile).
+    let mut pool: Vec<NetId> = Vec::new();
+    pool.extend(inputs.iter().copied());
+    for qs in &word_q {
+        pool.extend(qs.iter().copied());
+    }
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let n_outputs = profile.outputs.max(1);
+    let mut filler_out: Vec<NetId> = Vec::new();
+    let mut fid = 0usize;
+    // Reserve budget for the per-output reduction trees (one gate per
+    // reduced term, see below).
+    while gates + filler_out.len() + word_q.len() + 2 * n_outputs < profile.gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let g = if a == b {
+            count(&mut nl, GateKind::Not, format!("f{fid}"), &[a], &mut gates)?
+        } else {
+            count(&mut nl, kind, format!("f{fid}"), &[a, b], &mut gates)?
+        };
+        fid += 1;
+        pool.push(g);
+        filler_out.push(g);
+        // Keep the pool bounded so cones stay local-ish.
+        if pool.len() > 4096 {
+            pool.drain(0..1024);
+        }
+    }
+
+    // ---- Outputs --------------------------------------------------------
+    // Every output folds a slice of the filler and a slice of the word bits
+    // into an XOR reduction tree, so all filler and every word is
+    // observable at some primary output.
+    let mut out_terms: Vec<Vec<NetId>> = vec![Vec::new(); n_outputs];
+    for (i, &f) in filler_out.iter().enumerate() {
+        out_terms[i % n_outputs].push(f);
+    }
+    for (w, qs) in word_q.iter().enumerate() {
+        out_terms[w % n_outputs].push(qs[w % qs.len()]);
+    }
+    for (o, terms) in out_terms.iter_mut().enumerate() {
+        if terms.is_empty() {
+            terms.push(word_q[o % word_q.len()][0]);
+        }
+        let mut acc = terms[0];
+        for (j, &t) in terms[1..].iter().enumerate() {
+            acc = count(
+                &mut nl,
+                GateKind::Xor,
+                format!("ored{o}_{j}"),
+                &[acc, t],
+                &mut gates,
+            )?;
+        }
+        let y = count(&mut nl, GateKind::Buf, format!("out{o}"), &[acc], &mut gates)?;
+        nl.mark_output(y)?;
+    }
+
+    nl.validate()?;
+
+    // Ground truth words: FF indices were assigned in creation order — data
+    // words first (w = 1..), then the control word.
+    let mut register_words: Vec<Vec<usize>> = Vec::with_capacity(word_sizes.len());
+    let mut next = 0usize;
+    for &size in word_sizes.iter().skip(1) {
+        register_words.push((next..next + size).collect());
+        next += size;
+    }
+    register_words.push((next..next + word_sizes[0]).collect());
+
+    Ok(BenchmarkCircuit {
+        netlist: nl,
+        register_words,
+        profile: profile.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_netlist::NetlistStats;
+
+    fn profile(name: &'static str, i: usize, o: usize, ff: usize, g: usize) -> Profile {
+        Profile {
+            name,
+            inputs: i,
+            outputs: o,
+            dffs: ff,
+            gates: g,
+        }
+    }
+
+    #[test]
+    fn matches_profile_shape() {
+        let p = profile("t1", 8, 6, 40, 300);
+        let c = generate(&p, 0).unwrap();
+        let st = NetlistStats::of(&c.netlist);
+        assert_eq!(st.inputs, 8);
+        assert_eq!(st.outputs, 6);
+        assert_eq!(st.dffs, 40);
+        assert!(
+            st.gates >= 280 && st.gates <= 330,
+            "gate count {} off target",
+            st.gates
+        );
+    }
+
+    #[test]
+    fn ground_truth_partitions_ffs() {
+        let p = profile("t2", 4, 2, 37, 200);
+        let c = generate(&p, 0).unwrap();
+        let mut seen = vec![false; c.netlist.dff_count()];
+        for word in &c.register_words {
+            assert!(!word.is_empty());
+            for &f in word {
+                assert!(!seen[f], "FF {f} in two words");
+                seen[f] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let labels = c.word_labels();
+        assert_eq!(labels.len(), 37);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let p = profile("t3", 5, 3, 20, 150);
+        let a = generate(&p, 0).unwrap();
+        let b = generate(&p, 0).unwrap();
+        assert!(cutelock_netlist::bench::structurally_equal(
+            &a.netlist, &b.netlist
+        ));
+        let c = generate(&p, 1).unwrap();
+        assert!(!cutelock_netlist::bench::structurally_equal(
+            &a.netlist, &c.netlist
+        ));
+    }
+
+    #[test]
+    fn simulates_cleanly() {
+        use cutelock_sim::{NetlistOracle, SequentialOracle};
+        let p = profile("t4", 6, 4, 25, 180);
+        let c = generate(&p, 0).unwrap();
+        let mut orc = NetlistOracle::new(c.netlist).unwrap();
+        let seq: Vec<Vec<bool>> = (0..20u64)
+            .map(|i| (0..6).map(|j| (i >> j) & 1 == 1).collect())
+            .collect();
+        let outs = orc.run(&seq);
+        assert_eq!(outs.len(), 20);
+        // Outputs must not be constant across the run (live circuit).
+        assert!(outs.iter().any(|o| o != &outs[0]));
+    }
+
+    #[test]
+    fn tiny_profiles_work() {
+        let p = profile("t5", 1, 1, 3, 20);
+        let c = generate(&p, 0).unwrap();
+        c.netlist.validate().unwrap();
+        assert_eq!(c.netlist.dff_count(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Synthezza FSM benchmark equivalents (Tables I and III of the paper).
+//!
+//! The Synthezza suite is a commercial collection of FSM benchmarks graded
+//! small / medium / large. The paper's Table III locks 33 of them with
+//! Cute-Lock-Beh. Each name here maps to a seeded random Mealy machine
+//! whose state/input/output counts give the same size class; `bcomp` keeps
+//! the 8-input / 39-output interface visible in the paper's Table I.
+
+use cutelock_fsm::random::{random_fsm, RandomFsmConfig};
+use cutelock_fsm::Stg;
+
+/// Size class of a Synthezza benchmark (Table III groups rows this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthezzaSize {
+    /// The `Small` group (bcomp … e17).
+    Small,
+    /// The `Medium` group (acdl … doron).
+    Medium,
+    /// The `Large` group (absurd … tiger).
+    Large,
+}
+
+struct FsmProfile {
+    name: &'static str,
+    size: SynthezzaSize,
+    states: usize,
+    inputs: usize,
+    outputs: usize,
+}
+
+use SynthezzaSize::{Large, Medium, Small};
+
+const PROFILES: &[FsmProfile] = &[
+    // Small group.
+    FsmProfile { name: "bcomp", size: Small, states: 10, inputs: 8, outputs: 39 },
+    FsmProfile { name: "bech", size: Small, states: 9, inputs: 6, outputs: 12 },
+    FsmProfile { name: "bridge", size: Small, states: 8, inputs: 5, outputs: 7 },
+    FsmProfile { name: "cat", size: Small, states: 6, inputs: 4, outputs: 5 },
+    FsmProfile { name: "checker9", size: Small, states: 9, inputs: 3, outputs: 4 },
+    FsmProfile { name: "cpu", size: Small, states: 12, inputs: 6, outputs: 8 },
+    FsmProfile { name: "dmac", size: Small, states: 5, inputs: 3, outputs: 4 },
+    FsmProfile { name: "e10", size: Small, states: 10, inputs: 3, outputs: 3 },
+    FsmProfile { name: "e15", size: Small, states: 15, inputs: 4, outputs: 4 },
+    FsmProfile { name: "e16", size: Small, states: 16, inputs: 4, outputs: 4 },
+    FsmProfile { name: "e161", size: Small, states: 16, inputs: 5, outputs: 5 },
+    FsmProfile { name: "e17", size: Small, states: 17, inputs: 3, outputs: 3 },
+    // Medium group.
+    FsmProfile { name: "acdl", size: Medium, states: 22, inputs: 6, outputs: 8 },
+    FsmProfile { name: "alf", size: Medium, states: 26, inputs: 8, outputs: 10 },
+    FsmProfile { name: "amtz", size: Medium, states: 30, inputs: 8, outputs: 9 },
+    FsmProfile { name: "ball", size: Medium, states: 28, inputs: 10, outputs: 18 },
+    FsmProfile { name: "bens", size: Medium, states: 32, inputs: 7, outputs: 8 },
+    FsmProfile { name: "berg", size: Medium, states: 32, inputs: 7, outputs: 7 },
+    FsmProfile { name: "bib", size: Medium, states: 33, inputs: 7, outputs: 7 },
+    FsmProfile { name: "big", size: Medium, states: 24, inputs: 6, outputs: 7 },
+    FsmProfile { name: "bs", size: Medium, states: 25, inputs: 7, outputs: 6 },
+    FsmProfile { name: "codec", size: Medium, states: 20, inputs: 4, outputs: 12 },
+    FsmProfile { name: "codec1", size: Medium, states: 36, inputs: 9, outputs: 12 },
+    FsmProfile { name: "cow", size: Medium, states: 40, inputs: 10, outputs: 16 },
+    FsmProfile { name: "cyr", size: Medium, states: 34, inputs: 7, outputs: 8 },
+    FsmProfile { name: "dav", size: Medium, states: 24, inputs: 6, outputs: 6 },
+    FsmProfile { name: "doron", size: Medium, states: 35, inputs: 7, outputs: 9 },
+    // Large group.
+    FsmProfile { name: "absurd", size: Large, states: 120, inputs: 10, outputs: 20 },
+    FsmProfile { name: "bulln", size: Large, states: 110, inputs: 10, outputs: 18 },
+    FsmProfile { name: "camel", size: Large, states: 100, inputs: 10, outputs: 16 },
+    FsmProfile { name: "exxm", size: Large, states: 85, inputs: 9, outputs: 14 },
+    FsmProfile { name: "lion", size: Large, states: 95, inputs: 9, outputs: 15 },
+    FsmProfile { name: "tiger", size: Large, states: 90, inputs: 9, outputs: 14 },
+];
+
+/// Names of the Synthezza benchmarks of a given size class, in Table III
+/// order; `None` returns all of them.
+pub fn synthezza_names(size: Option<SynthezzaSize>) -> Vec<&'static str> {
+    PROFILES
+        .iter()
+        .filter(|p| size.map_or(true, |s| p.size == s))
+        .map(|p| p.name)
+        .collect()
+}
+
+/// Builds the Synthezza benchmark `name` as a validated Mealy machine, or
+/// `None` for an unknown name.
+pub fn synthezza(name: &str) -> Option<Stg> {
+    let p = PROFILES.iter().find(|p| p.name == name)?;
+    let cfg = RandomFsmConfig {
+        num_states: p.states,
+        num_inputs: p.inputs,
+        num_outputs: p.outputs,
+        max_depth: 3,
+        seed: name.bytes().fold(0x53_5a_5a_41u64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(u64::from(b))
+        }),
+    };
+    Some(random_fsm(p.name, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for name in synthezza_names(None) {
+            let stg = synthezza(name).unwrap_or_else(|| panic!("{name} missing"));
+            stg.validate().unwrap();
+        }
+        assert_eq!(synthezza_names(None).len(), 33);
+    }
+
+    #[test]
+    fn bcomp_matches_table1_interface() {
+        let stg = synthezza("bcomp").unwrap();
+        assert_eq!(stg.num_inputs(), 8); // x[7:0]
+        assert_eq!(stg.num_outputs(), 39); // y[38:0]
+    }
+
+    #[test]
+    fn size_classes_partition() {
+        let s = synthezza_names(Some(SynthezzaSize::Small)).len();
+        let m = synthezza_names(Some(SynthezzaSize::Medium)).len();
+        let l = synthezza_names(Some(SynthezzaSize::Large)).len();
+        assert_eq!(s, 12);
+        assert_eq!(m, 15);
+        assert_eq!(l, 6);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(synthezza("zebra").is_none());
+    }
+
+    #[test]
+    fn large_machines_have_more_states() {
+        let small = synthezza("cat").unwrap();
+        let large = synthezza("absurd").unwrap();
+        assert!(large.num_states() > 5 * small.num_states());
+    }
+}

@@ -1,0 +1,263 @@
+//! Subcommand implementations.
+
+use std::fs;
+use std::time::Duration;
+
+use cutelock_attacks::appsat::{appsat_attack, AppSatConfig, double_dip_attack};
+use cutelock_attacks::bmc::{bbo_attack, int_attack};
+use cutelock_attacks::dana::{dana_attack, score_against_ground_truth};
+use cutelock_attacks::fall::fall_attack;
+use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::rane::rane_attack;
+use cutelock_attacks::sat_attack::scan_sat_attack;
+use cutelock_attacks::AttackBudget;
+use cutelock_circuits::{iscas89, itc99, iscas89_names, itc99_names};
+use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
+use cutelock_netlist::{bench, verilog, Netlist, NetlistStats};
+use cutelock_synth::{analyze, CellLibrary, OverheadComparison};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+cutelock — time-based multi-key logic locking toolkit
+
+USAGE: cutelock <command> [--flag value ...]
+
+COMMANDS:
+  bench     Emit a built-in benchmark circuit as .bench
+              --suite iscas89|itc99   --name s27|b01|…   [--out FILE]
+              (--name list prints available names)
+  stats     Print size statistics of a netlist
+              --in FILE
+  lock      Lock a .bench netlist
+              --scheme str|xor|ttlock|dklock|sled  --in FILE --out FILE
+              [--keys K] [--key-bits KI] [--ffs N] [--seed S]
+              [--keys-out FILE]   (writes the key schedule)
+  attack    Run an attack against a locked netlist
+              --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana
+              --locked FILE --oracle FILE [--timeout SECS]
+  overhead  45nm-model overhead of locked vs original
+              --original FILE --locked FILE
+  convert   Convert formats
+              --in FILE --to verilog|bench [--out FILE]
+  help      Show this message
+";
+
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "bench" => cmd_bench(rest),
+        "stats" => cmd_stats(rest),
+        "lock" => cmd_lock(rest),
+        "attack" => cmd_attack(rest),
+        "overhead" => cmd_overhead(rest),
+        "convert" => cmd_convert(rest),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `cutelock help`")),
+    }
+}
+
+fn read_netlist(path: &str) -> Result<Netlist, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    bench::parse(path.to_string(), &src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_out(path: Option<&str>, content: &str) -> Result<(), String> {
+    match path {
+        Some(p) => fs::write(p, content).map_err(|e| format!("{p}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let suite = args.req("suite")?;
+    let name = args.req("name")?;
+    if name == "list" {
+        let names = match suite {
+            "iscas89" => iscas89_names(),
+            "itc99" => itc99_names(),
+            other => return Err(format!("unknown suite `{other}`")),
+        };
+        println!("{}", names.join("\n"));
+        return Ok(());
+    }
+    let circuit = match suite {
+        "iscas89" => iscas89(name),
+        "itc99" => itc99(name),
+        other => return Err(format!("unknown suite `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    write_out(args.opt("out"), &bench::write(&circuit.netlist))
+}
+
+fn cmd_stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let nl = read_netlist(args.req("in")?)?;
+    let st = NetlistStats::of(&nl);
+    println!("{}: {st}", nl.name());
+    for (kind, count) in &st.per_kind {
+        println!("  {kind:<6} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_lock(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let nl = read_netlist(args.req("in")?)?;
+    let scheme = args.req("scheme")?;
+    let keys: usize = args.num("keys", 4)?;
+    let ki: usize = args.num("key-bits", 3)?;
+    let ffs: usize = args.num("ffs", 1)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let locked: LockedCircuit = match scheme {
+        "str" => CuteLockStr::new(CuteLockStrConfig {
+            keys,
+            key_bits: ki,
+            locked_ffs: ffs,
+            seed,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&nl)
+        .map_err(|e| e.to_string())?,
+        "xor" => XorLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
+        "ttlock" => TtLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
+        "dklock" => DkLock::new(ki, ki, seed)
+            .lock(&nl)
+            .map_err(|e| e.to_string())?,
+        "sled" => SledLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown scheme `{other}`")),
+    };
+    if let Some(kpath) = args.opt("keys-out") {
+        let mut text = format!(
+            "# scheme: {}\n# k = {}, ki = {}\n",
+            locked.scheme,
+            locked.schedule.num_keys(),
+            locked.schedule.key_bits()
+        );
+        for (t, key) in locked.schedule.keys().iter().enumerate() {
+            text.push_str(&format!("t{t} {key}\n"));
+        }
+        fs::write(kpath, text).map_err(|e| format!("{kpath}: {e}"))?;
+    }
+    eprintln!(
+        "locked with {} (k={}, ki={}); schedule: {}",
+        locked.scheme,
+        locked.schedule.num_keys(),
+        locked.schedule.key_bits(),
+        locked.schedule
+    );
+    write_out(args.opt("out"), &bench::write(&locked.netlist))
+}
+
+fn cmd_attack(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let locked_nl = read_netlist(args.req("locked")?)?;
+    let oracle = read_netlist(args.req("oracle")?)?;
+    let timeout: u64 = args.num("timeout", 60)?;
+    let ki = locked_nl.key_inputs().len();
+    if ki == 0 {
+        return Err("locked netlist has no keyinput* ports".into());
+    }
+    // The attacker does not know the schedule; the placeholder below is
+    // only carried for bookkeeping and never read by the attacks.
+    let locked = LockedCircuit {
+        netlist: locked_nl,
+        original: oracle,
+        schedule: KeySchedule::constant(KeyValue::from_u64(0, ki.min(64)), 1),
+        scheme: "external",
+        counter_ffs: Vec::new(),
+        locked_ffs: Vec::new(),
+    };
+    let budget = AttackBudget {
+        timeout: Duration::from_secs(timeout),
+        ..AttackBudget::default()
+    };
+    let mode = args.req("mode")?;
+    match mode {
+        "fall" => {
+            let r = fall_attack(&locked);
+            println!(
+                "FALL: {} candidates, {} keys, {:.1}s -> {}",
+                r.candidates,
+                r.keys_found,
+                r.elapsed.as_secs_f64(),
+                r.outcome
+            );
+        }
+        "dana" => {
+            let r = dana_attack(&locked.netlist);
+            println!(
+                "DANA: {} clusters over {} FFs in {:.1}s",
+                r.clusters.len(),
+                locked.netlist.dff_count(),
+                r.elapsed.as_secs_f64()
+            );
+            // Against an original with known words there is no ground truth
+            // here; report cluster sizes instead.
+            let mut sizes: Vec<usize> = r.clusters.iter().map(Vec::len).collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            println!("cluster sizes: {sizes:?}");
+            let _ = score_against_ground_truth; // reachable via library API
+        }
+        m => {
+            let report = match m {
+                "sat" => scan_sat_attack(&locked, &budget),
+                "bbo" => bbo_attack(&locked, &budget),
+                "int" => int_attack(&locked, &budget),
+                "kc2" => kc2_attack(&locked, &budget),
+                "rane" => rane_attack(&locked, &budget),
+                "appsat" => appsat_attack(&locked, &budget, &AppSatConfig::default()),
+                "double-dip" => double_dip_attack(&locked, &budget),
+                other => return Err(format!("unknown attack mode `{other}`")),
+            };
+            println!("{m}: {report}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_overhead(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let original = read_netlist(args.req("original")?)?;
+    let locked = read_netlist(args.req("locked")?)?;
+    let lib = CellLibrary::default();
+    let orig = analyze(&original, &lib, 300, 1).map_err(|e| e.to_string())?;
+    let cmp = OverheadComparison::between(&original, &locked, &lib, 300, 1)
+        .map_err(|e| e.to_string())?;
+    println!("original: {orig}");
+    println!("locked:   {}", cmp.locked);
+    println!(
+        "overhead: power {:+.1}%  area {:+.1}%  cells {:+.1}%  IO {:+.1}%",
+        cmp.power_pct(),
+        cmp.area_pct(),
+        cmp.cells_pct(),
+        cmp.ios_pct()
+    );
+    Ok(())
+}
+
+fn cmd_convert(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let nl = read_netlist(args.req("in")?)?;
+    let to = args.req("to")?;
+    let text = match to {
+        "verilog" => verilog::write(&nl),
+        "bench" => bench::write(&nl),
+        other => return Err(format!("unknown target format `{other}`")),
+    };
+    write_out(args.opt("out"), &text)
+}

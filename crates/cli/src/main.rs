@@ -1,0 +1,26 @@
+//! `cutelock` — command-line front end for the Cute-Lock suite.
+//!
+//! ```text
+//! cutelock bench   --suite itc99 --name b10 --out b10.bench
+//! cutelock stats   --in b10.bench
+//! cutelock lock    --scheme str --keys 4 --key-bits 3 --ffs 2 \
+//!                  --in b10.bench --out b10_locked.bench --keys-out b10.keys
+//! cutelock attack  --mode int --locked b10_locked.bench --oracle b10.bench
+//! cutelock overhead --original b10.bench --locked b10_locked.bench
+//! cutelock convert --in b10_locked.bench --to verilog --out b10_locked.v
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,54 @@
+//! Cute-Lock: time-based multi-key logic locking (the paper's contribution).
+//!
+//! This crate implements the **Cute-Lock family** of DATE 2025 — sequential
+//! logic locking in which a free-running counter determines *which* key
+//! value must be present at the key port in each clock cycle:
+//!
+//! * [`beh::CuteLockBeh`] — the RTL-level behavioral variant: the locked
+//!   design takes a *wrongful state transition* whenever the key applied in
+//!   a cycle differs from the scheduled key for the current counter time;
+//! * [`str_lock::CuteLockStr`] — the netlist-level structural variant: a MUX
+//!   tree in front of selected flip-flops re-routes each one to *repurposed
+//!   hardware* (the next-state cone of a different flip-flop) under wrong
+//!   keys, adding almost no new logic — the property that defeats removal
+//!   and dataflow attacks.
+//!
+//! Baseline schemes required by the paper's evaluation are provided in
+//! [`baselines`]: random XOR locking (RLL/EPIC), TTLock and DK-Lock, plus a
+//! SLED-style dynamic-key scheme as an extension.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+//! use cutelock_circuits::s27::s27;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let original = s27();
+//! let locked = CuteLockStr::new(CuteLockStrConfig {
+//!     keys: 4,
+//!     key_bits: 2,
+//!     locked_ffs: 1,
+//!     seed: 1,
+//!     ..Default::default()
+//! })
+//! .lock(&original)?;
+//! // With the correct key sequence the locked circuit matches the original.
+//! assert!(locked.verify_equivalence(200, 7)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod beh;
+mod counter;
+mod key;
+mod locked;
+pub mod str_lock;
+
+pub use counter::{insert_mod_counter, CounterNets};
+pub use key::{KeySchedule, KeyValue};
+pub use locked::{LockError, LockedCircuit, LockedOracle};

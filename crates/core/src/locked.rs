@@ -1,0 +1,311 @@
+//! The common result type of every locking transform, plus oracles.
+
+use std::fmt;
+
+use cutelock_netlist::{NetId, Netlist, NetlistError};
+use cutelock_sim::{NetlistOracle, SequentialOracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KeySchedule, KeyValue};
+
+/// Errors produced by locking transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// Underlying netlist manipulation failed.
+    Netlist(NetlistError),
+    /// The configuration is inconsistent with the target circuit.
+    Config(String),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::Config(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for LockError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+/// A locked circuit: the locked netlist, the original it protects, and the
+/// time-indexed key schedule that unlocks it.
+#[derive(Debug, Clone)]
+pub struct LockedCircuit {
+    /// The locked netlist (contains `keyinput*` primary inputs).
+    pub netlist: Netlist,
+    /// The original, unlocked netlist — the oracle of oracle-guided attacks.
+    pub original: Netlist,
+    /// The correct key schedule.
+    pub schedule: KeySchedule,
+    /// Scheme identifier (`"cute-lock-beh"`, `"cute-lock-str"`, …).
+    pub scheme: &'static str,
+    /// Flip-flop indices (in `netlist`) of the inserted counter.
+    pub counter_ffs: Vec<usize>,
+    /// Flip-flop indices (in `netlist`) whose data path was re-routed.
+    pub locked_ffs: Vec<usize>,
+}
+
+impl LockedCircuit {
+    /// Key input nets of the locked netlist, schedule bit order.
+    pub fn key_input_ids(&self) -> Vec<NetId> {
+        self.netlist.key_inputs()
+    }
+
+    /// Non-key primary inputs of the locked netlist, declaration order —
+    /// these correspond 1:1 with the original's inputs.
+    pub fn data_input_ids(&self) -> Vec<NetId> {
+        self.netlist.data_inputs()
+    }
+
+    /// Simulates the locked circuit with the **correct** key schedule and
+    /// the original side by side under random stimulus; true when all
+    /// outputs agree on every cycle (the validation of paper Tables I–II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn verify_equivalence(&self, cycles: usize, seed: u64) -> Result<bool, NetlistError> {
+        let mut locked = LockedOracle::with_correct_keys(self)?;
+        let mut orig = NetlistOracle::new(self.original.clone())?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5645_5249); // "VERI"
+        let n = self.original.input_count();
+        locked.reset();
+        orig.reset();
+        for _ in 0..cycles {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            if locked.step(&inputs) != orig.step(&inputs) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Fraction of cycles on which the locked circuit's outputs diverge from
+    /// the original when driven with `wrong` applied at every cycle instead
+    /// of the schedule. Non-zero corruption is what makes a lock effective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn corruption_rate(
+        &self,
+        wrong: &KeyValue,
+        cycles: usize,
+        seed: u64,
+    ) -> Result<f64, NetlistError> {
+        let mut locked = LockedOracle::with_constant_key(self, wrong.clone())?;
+        let mut orig = NetlistOracle::new(self.original.clone())?;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x434f_5252); // "CORR"
+        let n = self.original.input_count();
+        locked.reset();
+        orig.reset();
+        let mut bad = 0usize;
+        for _ in 0..cycles.max(1) {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            if locked.step(&inputs) != orig.step(&inputs) {
+                bad += 1;
+            }
+        }
+        Ok(bad as f64 / cycles.max(1) as f64)
+    }
+}
+
+/// How a [`LockedOracle`] feeds the key port.
+#[derive(Debug, Clone)]
+enum KeyFeed {
+    /// The correct schedule, synchronized with the cycle counter.
+    Schedule(KeySchedule),
+    /// A constant key value every cycle (what a constant-key attacker, or a
+    /// single-key reduction, would apply).
+    Constant(KeyValue),
+}
+
+/// Simulates a locked netlist while driving the key port automatically —
+/// either the correct schedule (an "activated chip") or an arbitrary
+/// constant key (a mis-keyed chip). Exposes only the data inputs.
+#[derive(Debug, Clone)]
+pub struct LockedOracle {
+    inner: NetlistOracle,
+    /// For each primary input of the locked netlist: `Ok(data_pos)` or
+    /// `Err(key_pos)`.
+    input_map: Vec<Result<usize, usize>>,
+    feed: KeyFeed,
+    cycle: u64,
+}
+
+impl LockedOracle {
+    /// An oracle applying the correct schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn with_correct_keys(locked: &LockedCircuit) -> Result<Self, NetlistError> {
+        Self::new(locked, KeyFeed::Schedule(locked.schedule.clone()))
+    }
+
+    /// An oracle applying `key` on every cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn with_constant_key(
+        locked: &LockedCircuit,
+        key: KeyValue,
+    ) -> Result<Self, NetlistError> {
+        Self::new(locked, KeyFeed::Constant(key))
+    }
+
+    fn new(locked: &LockedCircuit, feed: KeyFeed) -> Result<Self, NetlistError> {
+        let keys = locked.key_input_ids();
+        let data = locked.data_input_ids();
+        let input_map: Vec<Result<usize, usize>> = locked
+            .netlist
+            .inputs()
+            .iter()
+            .map(|id| {
+                if let Some(kpos) = keys.iter().position(|k| k == id) {
+                    Err(kpos)
+                } else {
+                    Ok(data.iter().position(|d| d == id).expect("data input"))
+                }
+            })
+            .collect();
+        Ok(Self {
+            inner: NetlistOracle::new(locked.netlist.clone())?,
+            input_map,
+            feed,
+            cycle: 0,
+        })
+    }
+}
+
+impl SequentialOracle for LockedOracle {
+    fn num_inputs(&self) -> usize {
+        self.input_map.iter().filter(|m| m.is_ok()).count()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.cycle = 0;
+    }
+
+    fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let key: Vec<bool> = match &self.feed {
+            KeyFeed::Schedule(s) => s.key_at_cycle(self.cycle).bits().to_vec(),
+            KeyFeed::Constant(k) => k.bits().to_vec(),
+        };
+        let full: Vec<bool> = self
+            .input_map
+            .iter()
+            .map(|m| match m {
+                Ok(d) => inputs[*d],
+                Err(kpos) => key[*kpos],
+            })
+            .collect();
+        self.cycle += 1;
+        self.inner.step(&full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_netlist::{bench, GateKind};
+
+    /// A hand-made "locked" circuit: y = XOR(a, q); d = XOR(a, q, key_wrong)
+    /// where key_wrong = key XOR expected(t). Here we emulate the simplest
+    /// possible time-based lock with k=2, ki=1: expected keys [1, 0].
+    fn tiny_locked() -> LockedCircuit {
+        let original = bench::parse(
+            "orig",
+            "INPUT(a)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(a, q)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let mut nl = bench::parse(
+            "locked",
+            "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n# @init q 0\n# @init c 0\n\
+             q = DFF(d)\nc = DFF(cn)\ncn = NOT(c)\n\
+             exp = NOT(c)\nbad = XOR(keyinput0, exp)\n\
+             d0 = XOR(a, q)\nd = XOR(d0, bad)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        nl.set_name("locked");
+        LockedCircuit {
+            netlist: nl,
+            original,
+            schedule: KeySchedule::new(vec![KeyValue::from_u64(1, 1), KeyValue::from_u64(0, 1)]),
+            scheme: "hand-lock",
+            counter_ffs: vec![1],
+            locked_ffs: vec![0],
+        }
+    }
+
+    #[test]
+    fn correct_schedule_matches_original() {
+        let lc = tiny_locked();
+        assert!(lc.verify_equivalence(100, 3).unwrap());
+    }
+
+    #[test]
+    fn constant_key_corrupts() {
+        let lc = tiny_locked();
+        // Any constant key is wrong half the time at the state level.
+        let r0 = lc
+            .corruption_rate(&KeyValue::from_u64(0, 1), 200, 5)
+            .unwrap();
+        let r1 = lc
+            .corruption_rate(&KeyValue::from_u64(1, 1), 200, 5)
+            .unwrap();
+        assert!(r0 > 0.2, "corruption {r0}");
+        assert!(r1 > 0.2, "corruption {r1}");
+    }
+
+    #[test]
+    fn oracle_splits_inputs_correctly() {
+        let lc = tiny_locked();
+        let mut orc = LockedOracle::with_correct_keys(&lc).unwrap();
+        assert_eq!(orc.num_inputs(), 1);
+        assert_eq!(orc.num_outputs(), 1);
+        let out = orc.run(&[vec![true], vec![true], vec![false]]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn key_and_data_ids_partition_inputs() {
+        let lc = tiny_locked();
+        let keys = lc.key_input_ids();
+        let data = lc.data_input_ids();
+        assert_eq!(keys.len() + data.len(), lc.netlist.input_count());
+        assert_eq!(lc.netlist.net_name(keys[0]), "keyinput0");
+        assert_eq!(lc.netlist.net_name(data[0]), "a");
+    }
+
+    #[test]
+    fn lock_error_display() {
+        let e = LockError::Config("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+        let e2: LockError = NetlistError::UnknownNet("x".into()).into();
+        assert!(e2.to_string().contains("unknown net"));
+        let _ = GateKind::And; // keep import used
+    }
+}

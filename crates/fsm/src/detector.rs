@@ -1,0 +1,137 @@
+//! Sequence detectors — the paper's running example.
+//!
+//! Figures 1 and 2 of the Cute-Lock paper illustrate both locking variants
+//! on a `1001` Mealy sequence detector. [`sequence_detector`] builds that
+//! machine (for any binary pattern), with overlapping matches, exactly as a
+//! textbook KMP-derived Mealy detector.
+
+use crate::{Cube, Stg};
+
+/// Builds a Mealy detector for the binary `pattern` (e.g. `"1001"`).
+///
+/// The machine has one input bit and one output bit; the output is 1 on the
+/// cycle in which the final symbol of the pattern arrives. Overlapping
+/// occurrences are detected (after a match the machine falls back to the
+/// longest proper prefix that is also a suffix).
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or contains characters other than `0`/`1`.
+pub fn sequence_detector(pattern: &str) -> Stg {
+    let bits: Vec<bool> = pattern
+        .chars()
+        .map(|c| match c {
+            '0' => false,
+            '1' => true,
+            other => panic!("pattern must be binary, found `{other}`"),
+        })
+        .collect();
+    assert!(!bits.is_empty(), "pattern must be non-empty");
+    let n = bits.len();
+
+    // Longest proper prefix of pattern[..i] that is also a suffix, via the
+    // classic KMP failure function.
+    let mut fail = vec![0usize; n + 1];
+    for i in 1..n {
+        let mut k = fail[i];
+        while k > 0 && bits[i] != bits[k] {
+            k = fail[k];
+        }
+        if bits[i] == bits[k] {
+            k += 1;
+        }
+        fail[i + 1] = k;
+    }
+    // delta(s, b): longest prefix matched after reading b in state s.
+    let delta = |mut s: usize, b: bool| -> usize {
+        loop {
+            if bits[s] == b {
+                return s + 1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = fail[s];
+        }
+    };
+
+    let mut stg = Stg::new(format!("detect_{pattern}"), 1, 1);
+    let states: Vec<_> = (0..n).map(|i| stg.add_state(format!("P{i}"))).collect();
+    for (s, &st) in states.iter().enumerate() {
+        for b in [false, true] {
+            let mut t = delta(s, b);
+            let matched = t == n;
+            if matched {
+                t = fail[n];
+            }
+            let cube = Cube::any(1).with_bit(0, b);
+            stg.add_transition(st, cube, states[t], vec![matched])
+                .expect("widths are consistent");
+        }
+    }
+    stg.validate().expect("detector construction is valid");
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::StgSimulator;
+
+    fn detect(pattern: &str, stream: &str) -> Vec<bool> {
+        let stg = sequence_detector(pattern);
+        let mut sim = StgSimulator::new(&stg);
+        stream
+            .chars()
+            .map(|c| sim.step(&[c == '1'])[0])
+            .collect()
+    }
+
+    /// Naive reference: does the pattern end at position i of the stream?
+    fn reference(pattern: &str, stream: &str) -> Vec<bool> {
+        let p: Vec<char> = pattern.chars().collect();
+        let s: Vec<char> = stream.chars().collect();
+        (0..s.len())
+            .map(|i| i + 1 >= p.len() && s[i + 1 - p.len()..=i] == p[..])
+            .collect()
+    }
+
+    #[test]
+    fn paper_pattern_1001() {
+        let stg = sequence_detector("1001");
+        assert_eq!(stg.num_states(), 4);
+        assert_eq!(detect("1001", "10010010"), reference("1001", "10010010"));
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        // 111 in 11111 matches at positions 2, 3, 4.
+        assert_eq!(detect("111", "11111"), reference("111", "11111"));
+        // 101 in 10101.
+        assert_eq!(detect("101", "10101"), reference("101", "10101"));
+        // 1001 overlapping: 1001001.
+        assert_eq!(detect("1001", "1001001"), reference("1001", "1001001"));
+    }
+
+    #[test]
+    fn exhaustive_against_reference() {
+        for pattern in ["1", "0", "10", "1001", "0110", "11011"] {
+            for stream_bits in 0..(1u32 << 10) {
+                let stream: String = (0..10)
+                    .map(|i| if stream_bits >> i & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                assert_eq!(
+                    detect(pattern, &stream),
+                    reference(pattern, &stream),
+                    "pattern {pattern} stream {stream}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_pattern_rejected() {
+        let _ = sequence_detector("10x1");
+    }
+}

@@ -1,0 +1,44 @@
+//! Finite-state-machine (STG) modeling and synthesis for the Cute-Lock suite.
+//!
+//! Cute-Lock-Beh is defined at the RTL level, on the State Transition Graph
+//! of a sequential design. This crate provides that behavioral substrate:
+//!
+//! * [`Cube`] — input conditions as ternary cubes (`1-0-`);
+//! * [`Stg`] — Mealy-machine state transition graphs with deterministic,
+//!   complete transition relations;
+//! * [`sim`] — behavioral STG simulation;
+//! * [`synth`] — synthesis of an STG to a gate-level
+//!   [`Netlist`](cutelock_netlist::Netlist) (binary state encoding, one-hot
+//!   state decode, cube match logic);
+//! * [`detector`] — the classic sequence-detector family used in the paper's
+//!   running example (Figs. 1–2: a `1001` Mealy detector);
+//! * [`random`] — seeded random FSM generation, the basis of the
+//!   Synthezza-equivalent benchmark suite.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_fsm::detector::sequence_detector;
+//! use cutelock_fsm::sim::StgSimulator;
+//!
+//! let stg = sequence_detector("1001");
+//! let mut sim = StgSimulator::new(&stg);
+//! let outs: Vec<bool> = [true, false, false, true]
+//!     .iter()
+//!     .map(|&bit| sim.step(&[bit])[0])
+//!     .collect();
+//! assert_eq!(outs, vec![false, false, false, true]); // detects 1001
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+pub mod detector;
+pub mod random;
+pub mod sim;
+mod stg;
+pub mod synth;
+
+pub use cube::Cube;
+pub use stg::{FsmError, StateId, Stg, Transition};

@@ -1,0 +1,208 @@
+//! Seeded random FSM generation.
+//!
+//! The Synthezza benchmark suite used by the paper's Table III is a
+//! collection of FSM circuits of graded sizes. The suite itself is not
+//! redistributable, so the circuits crate regenerates *equivalent* machines
+//! with matching interface widths and state counts from fixed seeds — see
+//! `DESIGN.md` §4 for the substitution argument.
+//!
+//! Determinism and completeness of the transition relation are guaranteed
+//! by construction: each state's input space is partitioned by a random
+//! binary decision tree over distinct input variables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cube, Stg};
+
+/// Parameters of [`random_fsm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomFsmConfig {
+    /// Number of states (≥ 1).
+    pub num_states: usize,
+    /// Number of input bits (1..=64).
+    pub num_inputs: usize,
+    /// Number of output bits.
+    pub num_outputs: usize,
+    /// Maximum decision-tree depth per state (bounds transitions per state
+    /// at `2^max_depth`).
+    pub max_depth: usize,
+    /// RNG seed; equal seeds give identical machines.
+    pub seed: u64,
+}
+
+impl Default for RandomFsmConfig {
+    fn default() -> Self {
+        Self {
+            num_states: 8,
+            num_inputs: 4,
+            num_outputs: 2,
+            max_depth: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random, valid (deterministic and complete) Mealy machine.
+///
+/// All states are reachable from the reset state by construction: the
+/// generator first wires a random spanning arborescence over the states,
+/// then fills the remaining decision-tree leaves with uniform random
+/// destinations.
+///
+/// # Panics
+///
+/// Panics if `num_states == 0`, `num_inputs == 0` or `num_inputs > 64`.
+pub fn random_fsm(name: impl Into<String>, config: &RandomFsmConfig) -> Stg {
+    assert!(config.num_states > 0, "need at least one state");
+    assert!(
+        (1..=64).contains(&config.num_inputs),
+        "inputs must be 1..=64"
+    );
+    // Domain-separate from the other seeded generators in the suite.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0046_534d); // "FSM"
+    let mut stg = Stg::new(name, config.num_inputs, config.num_outputs);
+    let states: Vec<_> = (0..config.num_states)
+        .map(|i| stg.add_state(format!("S{i}")))
+        .collect();
+
+    // Spanning tree: state i (> 0) is pinned as a destination of some state
+    // < i, so every state is reachable from S0 (the reset state).
+    let mut pinned: Vec<Vec<usize>> = vec![Vec::new(); config.num_states];
+    for i in 1..config.num_states {
+        let parent = rng.gen_range(0..i);
+        pinned[parent].push(i);
+    }
+
+    let depth_cap = config.max_depth.min(config.num_inputs);
+    for (s, &st) in states.iter().enumerate() {
+        // Random decision tree: recursively split the full cube.
+        let mut leaves: Vec<Cube> = Vec::new();
+        split(
+            &mut rng,
+            Cube::any(config.num_inputs),
+            &mut Vec::new(),
+            depth_cap,
+            &mut leaves,
+        );
+        // Assign pinned destinations first, then random ones.
+        let mut dests: Vec<usize> = pinned[s].clone();
+        while dests.len() < leaves.len() {
+            dests.push(rng.gen_range(0..config.num_states));
+        }
+        dests.truncate(leaves.len());
+        // Shuffle destinations over leaves.
+        for i in (1..dests.len()).rev() {
+            dests.swap(i, rng.gen_range(0..=i));
+        }
+        for (cube, dest) in leaves.into_iter().zip(dests) {
+            let outputs: Vec<bool> = (0..config.num_outputs).map(|_| rng.gen()).collect();
+            stg.add_transition(st, cube, states[dest], outputs)
+                .expect("construction is well-formed");
+        }
+    }
+    debug_assert!(stg.validate().is_ok());
+    stg
+}
+
+/// Recursively partitions `cube` by decision variables not yet used on this
+/// path. Leaves are pushed to `out`.
+fn split(rng: &mut StdRng, cube: Cube, used: &mut Vec<usize>, depth: usize, out: &mut Vec<Cube>) {
+    let split_here = depth > 0 && (used.is_empty() || rng.gen_bool(0.6));
+    if !split_here {
+        out.push(cube);
+        return;
+    }
+    // Pick an unused variable.
+    let free: Vec<usize> = (0..cube.width()).filter(|v| !used.contains(v)).collect();
+    if free.is_empty() {
+        out.push(cube);
+        return;
+    }
+    let var = free[rng.gen_range(0..free.len())];
+    used.push(var);
+    split(rng, cube.with_bit(var, false), used, depth - 1, out);
+    split(rng, cube.with_bit(var, true), used, depth - 1, out);
+    used.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::StgSimulator;
+
+    #[test]
+    fn generated_machines_are_valid() {
+        for seed in 0..20 {
+            let cfg = RandomFsmConfig {
+                num_states: 3 + (seed as usize % 10),
+                num_inputs: 1 + (seed as usize % 6),
+                num_outputs: 1 + (seed as usize % 3),
+                max_depth: 3,
+                seed,
+            };
+            let stg = random_fsm(format!("g{seed}"), &cfg);
+            stg.validate().unwrap();
+            assert_eq!(stg.num_states(), cfg.num_states);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomFsmConfig::default();
+        let a = random_fsm("a", &cfg);
+        let b = random_fsm("b", &cfg);
+        // Same structure (names differ).
+        assert_eq!(a.num_states(), b.num_states());
+        for (sa, sb) in a.iter_states().zip(b.iter_states()) {
+            assert_eq!(sa.1, sb.1);
+        }
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 1;
+        let c = random_fsm("c", &cfg2);
+        let differs = a
+            .iter_states()
+            .zip(c.iter_states())
+            .any(|(sa, sc)| sa.1 != sc.1);
+        assert!(differs, "different seeds should give different machines");
+    }
+
+    #[test]
+    fn all_states_reachable() {
+        for seed in 0..10 {
+            let cfg = RandomFsmConfig {
+                num_states: 12,
+                num_inputs: 3,
+                num_outputs: 1,
+                max_depth: 2,
+                seed,
+            };
+            let stg = random_fsm("r", &cfg);
+            // BFS over the STG.
+            let mut seen = vec![false; stg.num_states()];
+            let mut queue = vec![stg.reset()];
+            seen[stg.reset().index()] = true;
+            while let Some(s) = queue.pop() {
+                for t in stg.transitions(s) {
+                    if !seen[t.next.index()] {
+                        seen[t.next.index()] = true;
+                        queue.push(t.next);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "unreachable state with seed {seed}");
+        }
+    }
+
+    #[test]
+    fn machine_simulates_without_panic() {
+        let cfg = RandomFsmConfig::default();
+        let stg = random_fsm("sim", &cfg);
+        let mut sim = StgSimulator::new(&stg);
+        for i in 0..100u64 {
+            let bits: Vec<bool> = (0..cfg.num_inputs).map(|j| (i >> j) & 1 == 1).collect();
+            let out = sim.step(&bits);
+            assert_eq!(out.len(), cfg.num_outputs);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced while building, mutating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateName(String),
+    /// A referenced net name does not exist.
+    UnknownNet(String),
+    /// A net id is out of bounds for this netlist.
+    InvalidNetId(u32),
+    /// A net would be driven by more than one source.
+    MultipleDrivers(String),
+    /// A net that must be driven has no driver.
+    Undriven(String),
+    /// A gate was given the wrong number of inputs.
+    BadArity {
+        /// Gate kind whose arity was violated.
+        kind: &'static str,
+        /// Number of inputs the kind expects (minimum for variadic kinds).
+        expected: usize,
+        /// Number of inputs actually provided.
+        got: usize,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle(String),
+    /// A `.bench` or Verilog source line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An operation needed a primary input but the net is not one.
+    NotAnInput(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName(n) => write!(f, "duplicate net name `{n}`"),
+            Self::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            Self::InvalidNetId(i) => write!(f, "invalid net id {i}"),
+            Self::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            Self::Undriven(n) => write!(f, "net `{n}` is undriven"),
+            Self::BadArity { kind, expected, got } => {
+                write!(f, "gate kind {kind} expects {expected} input(s), got {got}")
+            }
+            Self::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through net `{n}`")
+            }
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::NotAnInput(n) => write!(f, "net `{n}` is not a primary input"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,160 @@
+//! Structural Verilog writer.
+//!
+//! The paper's overhead flow converts `.bench` files to Verilog with ABC
+//! before synthesis; this module provides the equivalent export so locked
+//! netlists can be inspected with standard RTL tooling. Only writing is
+//! supported — the suite's interchange format is `.bench`.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, NetId, Netlist};
+
+/// Serializes a [`Netlist`] as a single structural Verilog module.
+///
+/// Gates are emitted as Verilog primitives where one exists (`and`, `or`,
+/// `nand`, `nor`, `xor`, `xnor`, `not`, `buf`) and as `assign` expressions
+/// for `MUX` and constants. Flip-flops become a single `always @(posedge
+/// clk)` block; a `clk` port is added since `.bench` has an implicit clock.
+pub fn write(nl: &Netlist) -> String {
+    let ident = sanitize_names(nl);
+    let name_of = |id: NetId| ident[&id].clone();
+
+    let mut out = String::new();
+    let mut ports: Vec<String> = vec!["clk".to_string()];
+    ports.extend(nl.inputs().iter().map(|&i| name_of(i)));
+    ports.extend(nl.outputs().iter().map(|&o| format!("{}_po", name_of(o))));
+    out.push_str(&format!(
+        "module {} ({});\n",
+        sanitize(nl.name()),
+        ports.join(", ")
+    ));
+    out.push_str("  input clk;\n");
+    for &i in nl.inputs() {
+        out.push_str(&format!("  input {};\n", name_of(i)));
+    }
+    for &o in nl.outputs() {
+        out.push_str(&format!("  output {}_po;\n", name_of(o)));
+    }
+    for ff in nl.dffs() {
+        out.push_str(&format!("  reg {};\n", name_of(ff.q())));
+    }
+    for gate in nl.gates() {
+        out.push_str(&format!("  wire {};\n", name_of(gate.output())));
+    }
+    out.push('\n');
+    for &o in nl.outputs() {
+        out.push_str(&format!("  assign {}_po = {};\n", name_of(o), name_of(o)));
+    }
+    out.push('\n');
+    for (gi, gate) in nl.gates().iter().enumerate() {
+        let o = name_of(gate.output());
+        let ins: Vec<String> = gate.inputs().iter().map(|&i| name_of(i)).collect();
+        match gate.kind() {
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Not
+            | GateKind::Buf => {
+                let prim = gate.kind().mnemonic().to_lowercase();
+                out.push_str(&format!("  {prim} g{gi} ({o}, {});\n", ins.join(", ")));
+            }
+            GateKind::Mux => {
+                out.push_str(&format!(
+                    "  assign {o} = {} ? {} : {};\n",
+                    ins[0], ins[2], ins[1]
+                ));
+            }
+            GateKind::Const0 => out.push_str(&format!("  assign {o} = 1'b0;\n")),
+            GateKind::Const1 => out.push_str(&format!("  assign {o} = 1'b1;\n")),
+        }
+    }
+    if !nl.dffs().is_empty() {
+        out.push_str("\n  always @(posedge clk) begin\n");
+        for ff in nl.dffs() {
+            out.push_str(&format!(
+                "    {} <= {};\n",
+                name_of(ff.q()),
+                name_of(ff.d())
+            ));
+        }
+        out.push_str("  end\n");
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Maps every net to a legal, unique Verilog identifier.
+fn sanitize_names(nl: &Netlist) -> HashMap<NetId, String> {
+    let mut used: HashMap<String, usize> = HashMap::new();
+    used.insert("clk".to_string(), 0);
+    let mut map = HashMap::new();
+    for (id, net) in nl.iter_nets() {
+        let mut base = sanitize(net.name());
+        if let Some(n) = used.get_mut(&base) {
+            *n += 1;
+            base = format!("{base}__{n}");
+        }
+        used.entry(base.clone()).or_insert(0);
+        map.insert(id, base);
+    }
+    map
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn writes_module_with_ffs() {
+        let nl = bench::parse(
+            "toy",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = NOT(d)\n",
+        )
+        .unwrap();
+        let v = write(&nl);
+        assert!(v.contains("module toy"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("q <= d;"));
+        assert!(v.contains("xor"));
+        assert!(v.contains("assign y_po = y;"));
+    }
+
+    #[test]
+    fn mux_and_const_become_assigns() {
+        let nl = bench::parse(
+            "cm",
+            "INPUT(s)\nINPUT(a)\nOUTPUT(y)\nz = CONST1()\nm = MUX(s, a, z)\ny = BUF(m)\n",
+        )
+        .unwrap();
+        let v = write(&nl);
+        assert!(v.contains("assign m = s ? z : a;"));
+        assert!(v.contains("assign z = 1'b1;"));
+    }
+
+    #[test]
+    fn illegal_identifiers_sanitized() {
+        let mut nl = Netlist::new("weird design");
+        let a = nl.add_input("3x").unwrap();
+        let y = nl.add_gate(GateKind::Not, "y[0]", &[a]).unwrap();
+        nl.mark_output(y).unwrap();
+        let v = write(&nl);
+        assert!(v.contains("module weird_design"));
+        assert!(v.contains("n3x"));
+        assert!(v.contains("y_0_"));
+    }
+}

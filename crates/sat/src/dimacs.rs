@@ -1,0 +1,185 @@
+//! DIMACS CNF reader/writer.
+//!
+//! Used for interoperability with external solvers and for regression tests
+//! against reference instances.
+
+use std::fmt;
+
+use crate::{Lit, Solver, Var};
+
+/// A parsed CNF formula: variable count plus clauses of signed literals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (`1..=num_vars` in DIMACS numbering).
+    pub num_vars: usize,
+    /// Clauses of non-zero DIMACS literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`Solver`], returning it along with
+    /// the variable handles (`vars[i]` is DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[l.unsigned_abs() as usize - 1], l > 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        (solver, vars)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p cnf {} {}", self.num_vars, self.clauses.len())?;
+        for clause in &self.clauses {
+            for l in clause {
+                write!(f, "{l} ")?;
+            }
+            writeln!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Comments (`c …`) are skipped; the `p cnf` header is required; literals
+/// out of the declared range are rejected.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on malformed input.
+pub fn parse(src: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::default();
+    let mut header_seen = false;
+    let mut current: Vec<i32> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header_seen {
+                return Err(DimacsError {
+                    line: lineno,
+                    message: "duplicate header".into(),
+                });
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(DimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            cnf.num_vars = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(DimacsError {
+                    line: lineno,
+                    message: "bad variable count".into(),
+                })?;
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(DimacsError {
+                line: lineno,
+                message: "clause before header".into(),
+            });
+        }
+        for tok in line.split_whitespace() {
+            let l: i32 = tok.parse().map_err(|_| DimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if l == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                if l.unsigned_abs() as usize > cnf.num_vars {
+                    return Err(DimacsError {
+                        line: lineno,
+                        message: format!("literal {l} out of range"),
+                    });
+                }
+                current.push(l);
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.clauses.push(current);
+    }
+    if !header_seen {
+        return Err(DimacsError {
+            line: 1,
+            message: "missing `p cnf` header".into(),
+        });
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let src = "c example\np cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n";
+        let cnf = parse(src).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 3);
+        let (mut solver, vars) = cnf.into_solver();
+        assert_eq!(solver.solve(), SatResult::Sat);
+        assert_eq!(solver.value(vars[2]), Some(false));
+        assert_eq!(solver.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn round_trip() {
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![1, -2], vec![2]],
+        };
+        let again = parse(&cnf.to_string()).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("1 2 0\n").is_err());
+        assert!(parse("p cnf 1 1\n5 0\n").is_err());
+        assert!(parse("p cnf x y\n").is_err());
+        assert!(parse("p dnf 1 1\n1 0\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn clause_without_terminator_is_kept() {
+        let cnf = parse("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(cnf.clauses, vec![vec![1, 2]]);
+    }
+}

@@ -1,0 +1,257 @@
+//! SAT-based equivalence checking.
+//!
+//! Simulation-based validation (the `verify_equivalence` used by the
+//! locking transforms) can only sample; this module decides equivalence
+//! *exhaustively* — combinationally, or sequentially up to a bounded number
+//! of clock cycles from reset. The lock transforms' correctness tests use
+//! it to prove that Cute-Lock with the correct schedule is cycle-exact, not
+//! merely unrefuted.
+
+use std::collections::HashMap;
+
+use cutelock_netlist::unroll::{unroll, InitState, KeySharing};
+use cutelock_netlist::{Netlist, NetlistError};
+
+use crate::{tseitin, Lit, SatResult, Solver};
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The circuits agree on every input (sequence) within the bound.
+    Equivalent,
+    /// A distinguishing input assignment was found: per frame, the values
+    /// of the first circuit's inputs (frame-major, declaration order).
+    Counterexample(Vec<Vec<bool>>),
+    /// The solver budget was exhausted.
+    Unknown,
+}
+
+/// Checks combinational equivalence of `a` and `b`.
+///
+/// Inputs are matched positionally (declaration order); both circuits must
+/// have equal input and output counts and no flip-flops.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] when the interfaces don't line up or either
+/// circuit is sequential.
+pub fn comb_equiv(a: &Netlist, b: &Netlist) -> Result<EquivResult, NetlistError> {
+    if !a.is_combinational() || !b.is_combinational() {
+        return Err(NetlistError::CombinationalCycle(
+            "comb_equiv needs combinational circuits; use bounded_seq_equiv".into(),
+        ));
+    }
+    check_interfaces(a, b)?;
+    let mut solver = Solver::new();
+    let cnf_a = tseitin::encode(a, &mut solver, &HashMap::new())?;
+    let shared: HashMap<_, _> = b
+        .inputs()
+        .iter()
+        .zip(a.inputs())
+        .map(|(&bi, &ai)| (bi, cnf_a.lit(ai)))
+        .collect();
+    let cnf_b = tseitin::encode(b, &mut solver, &shared)?;
+    let oa: Vec<Lit> = a.outputs().iter().map(|&o| cnf_a.lit(o)).collect();
+    let ob: Vec<Lit> = b.outputs().iter().map(|&o| cnf_b.lit(o)).collect();
+    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
+    solver.add_clause(&[diff]);
+    Ok(match solver.solve() {
+        SatResult::Unsat => EquivResult::Equivalent,
+        SatResult::Unknown => EquivResult::Unknown,
+        SatResult::Sat => {
+            let cex: Vec<bool> = a
+                .inputs()
+                .iter()
+                .map(|&i| solver.lit_value(cnf_a.lit(i)).unwrap_or(false))
+                .collect();
+            EquivResult::Counterexample(vec![cex])
+        }
+    })
+}
+
+/// Checks sequential equivalence of `a` and `b` for **all** input sequences
+/// of up to `frames` cycles from reset (recorded flip-flop inits; unknown
+/// inits are 0).
+///
+/// Inputs/outputs are matched positionally. `conflict_budget` bounds each
+/// SAT call (`None` = unlimited).
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] when the interfaces don't line up.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn bounded_seq_equiv(
+    a: &Netlist,
+    b: &Netlist,
+    frames: usize,
+    conflict_budget: Option<u64>,
+) -> Result<EquivResult, NetlistError> {
+    assert!(frames > 0, "need at least one frame");
+    check_interfaces(a, b)?;
+    let ua = unroll(a, frames, InitState::FromInit, KeySharing::PerFrame)?;
+    let ub = unroll(b, frames, InitState::FromInit, KeySharing::PerFrame)?;
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(conflict_budget);
+    let cnf_a = tseitin::encode(&ua.netlist, &mut solver, &HashMap::new())?;
+    // Share frame inputs positionally (frame_inputs excludes key inputs;
+    // keys were replicated per frame and are shared positionally too).
+    let mut shared: HashMap<_, _> = HashMap::new();
+    for t in 0..frames {
+        for (&bi, &ai) in ub.frame_inputs[t].iter().zip(&ua.frame_inputs[t]) {
+            shared.insert(bi, cnf_a.lit(ai));
+        }
+        for (&bk, &ak) in ub.frame_keys[t].iter().zip(&ua.frame_keys[t]) {
+            shared.insert(bk, cnf_a.lit(ak));
+        }
+    }
+    let cnf_b = tseitin::encode(&ub.netlist, &mut solver, &shared)?;
+    let oa: Vec<Lit> = ua
+        .frame_outputs
+        .iter()
+        .flatten()
+        .map(|&o| cnf_a.lit(o))
+        .collect();
+    let ob: Vec<Lit> = ub
+        .frame_outputs
+        .iter()
+        .flatten()
+        .map(|&o| cnf_b.lit(o))
+        .collect();
+    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
+    solver.add_clause(&[diff]);
+    Ok(match solver.solve() {
+        SatResult::Unsat => EquivResult::Equivalent,
+        SatResult::Unknown => EquivResult::Unknown,
+        SatResult::Sat => {
+            let cex: Vec<Vec<bool>> = (0..frames)
+                .map(|t| {
+                    let mut frame: Vec<bool> = ua.frame_inputs[t]
+                        .iter()
+                        .map(|&i| solver.lit_value(cnf_a.lit(i)).unwrap_or(false))
+                        .collect();
+                    frame.extend(
+                        ua.frame_keys[t]
+                            .iter()
+                            .map(|&k| solver.lit_value(cnf_a.lit(k)).unwrap_or(false)),
+                    );
+                    frame
+                })
+                .collect();
+            EquivResult::Counterexample(cex)
+        }
+    })
+}
+
+fn check_interfaces(a: &Netlist, b: &Netlist) -> Result<(), NetlistError> {
+    if a.input_count() != b.input_count() {
+        return Err(NetlistError::BadArity {
+            kind: "equiv inputs",
+            expected: a.input_count(),
+            got: b.input_count(),
+        });
+    }
+    if a.output_count() != b.output_count() {
+        return Err(NetlistError::BadArity {
+            kind: "equiv outputs",
+            expected: a.output_count(),
+            got: b.output_count(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_netlist::bench;
+
+    #[test]
+    fn demorgan_is_equivalent() {
+        let a = bench::parse("a", "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = NAND(x, y)\n").unwrap();
+        let b = bench::parse(
+            "b",
+            "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nnx = NOT(x)\nny = NOT(y)\nz = OR(nx, ny)\n",
+        )
+        .unwrap();
+        assert_eq!(comb_equiv(&a, &b).unwrap(), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn different_functions_yield_counterexample() {
+        let a = bench::parse("a", "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n").unwrap();
+        let b = bench::parse("b", "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = OR(x, y)\n").unwrap();
+        match comb_equiv(&a, &b).unwrap() {
+            EquivResult::Counterexample(cex) => {
+                // AND != OR exactly when inputs differ.
+                assert_eq!(cex.len(), 1);
+                assert_ne!(cex[0][0], cex[0][1]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_counter_equivalence() {
+        let a = bench::parse(
+            "a",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        // Same function built differently: d = MUX(en, q, !q).
+        let b = bench::parse(
+            "b",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nqn = NOT(q)\n\
+             d = MUX(en, q, qn)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        assert_eq!(
+            bounded_seq_equiv(&a, &b, 6, None).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn sequential_divergence_found_at_right_depth() {
+        // b diverges only once the counter reaches 1 (second cycle).
+        let a = bench::parse(
+            "a",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let b = bench::parse(
+            "b",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = OR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        // One frame: outputs both read initial q = 0 -> equivalent.
+        assert_eq!(
+            bounded_seq_equiv(&a, &b, 1, None).unwrap(),
+            EquivResult::Equivalent
+        );
+        // Three frames: XOR toggles back, OR saturates -> counterexample.
+        match bounded_seq_equiv(&a, &b, 3, None).unwrap() {
+            EquivResult::Counterexample(cex) => assert_eq!(cex.len(), 3),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_rejected() {
+        let a = bench::parse("a", "INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n").unwrap();
+        let b = bench::parse("b", "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n").unwrap();
+        assert!(comb_equiv(&a, &b).is_err());
+    }
+
+    #[test]
+    fn rejects_sequential_inputs_to_comb_equiv() {
+        let seq = bench::parse(
+            "s",
+            "INPUT(en)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        assert!(comb_equiv(&seq, &seq).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! A from-scratch CDCL SAT solver and circuit-to-CNF encoder.
+//!
+//! Every oracle-guided attack in the Cute-Lock suite (SAT, BMC, KC2,
+//! RANE-style) reduces to satisfiability queries. The paper relied on the
+//! solvers embedded in NEOS and RANE; this crate provides the equivalent
+//! substrate:
+//!
+//! * [`Solver`] — conflict-driven clause learning with two-watched literals,
+//!   VSIDS branching, phase saving, Luby restarts, learnt-clause database
+//!   reduction, and **incremental solving under assumptions** (the mechanism
+//!   behind the KC2-style attack);
+//! * [`tseitin`] — Tseitin encoding of combinational
+//!   [`Netlist`](cutelock_netlist::Netlist)s plus gate-level helpers for
+//!   building miters directly in CNF;
+//! * [`dimacs`] — DIMACS CNF reader/writer for interoperability and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_sat::{Lit, SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause(&[Lit::negative(a)]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+pub mod equiv;
+mod lit;
+mod solver;
+pub mod tseitin;
+
+pub use lit::{Lit, Var};
+pub use solver::{SatResult, Solver, SolverStats};
+pub use tseitin::CircuitCnf;

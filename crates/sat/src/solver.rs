@@ -1,0 +1,1022 @@
+use std::time::{Duration, Instant};
+
+use crate::{Lit, Var};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The search budget (conflict limit or deadline) was exhausted.
+    Unknown,
+}
+
+/// Aggregate search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: usize,
+    /// Number of problem clauses added.
+    pub clauses: usize,
+}
+
+const UNDEF_CLAUSE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// A CDCL (conflict-driven clause learning) SAT solver.
+///
+/// Features: two-watched-literal propagation, first-UIP clause learning,
+/// VSIDS variable activity with phase saving, Luby restarts, learnt-clause
+/// database reduction, incremental solving under assumptions, and optional
+/// conflict/time budgets so attacks can enforce the paper's timeout regime.
+///
+/// The solver is *incremental*: clauses may be added between
+/// [`solve`](Solver::solve) calls, and
+/// [`solve_with_assumptions`](Solver::solve_with_assumptions) decides the
+/// formula under temporary unit assumptions without permanently asserting
+/// them.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::index
+    assigns: Vec<i8>,           // per var: 0 undef, 1 true, -1 false
+    level: Vec<u32>,
+    reason: Vec<u32>, // clause index or UNDEF_CLAUSE
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    polarity: Vec<bool>,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>, // usize::MAX when absent
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    num_learnts: usize,
+    conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            polarity: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            stats: SolverStats::default(),
+            num_learnts: 0,
+            conflict_budget: None,
+            deadline: None,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(0);
+        self.level.push(0);
+        self.reason.push(UNDEF_CLAUSE);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(usize::MAX);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnts = self.num_learnts;
+        s.clauses = self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count();
+        s
+    }
+
+    /// Limits the next [`solve`](Solver::solve) calls to roughly `conflicts`
+    /// conflicts (`None` removes the limit).
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Aborts searches that run past `timeout` from now (`None` removes it).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.deadline = timeout.map(|d| Instant::now() + d);
+    }
+
+    /// Adds a clause. Returns `false` when the formula became trivially
+    /// unsatisfiable (empty clause, or conflicting units at level 0).
+    ///
+    /// Adding a clause after a [`SatResult::Sat`] answer invalidates the
+    /// model: the solver backtracks to level 0 first.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedup, drop clauses with x and !x, drop false
+        // literals, detect satisfied clauses.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology
+            }
+            if i > 0 && ls[i - 1] == !l {
+                return true;
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => continue,   // drop falsified literal
+                None => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], UNDEF_CLAUSE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    /// Current model value of `var` (valid after [`SatResult::Sat`]).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assigns[var.index()] {
+            1 => Some(true),
+            -1 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Current model value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var())
+            .map(|b| if lit.is_positive() { b } else { !b })
+    }
+
+    /// Decides the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides the formula under temporary unit `assumptions`.
+    ///
+    /// Assumptions are not asserted permanently; the solver backtracks to
+    /// level 0 before returning, so further clauses can be added and other
+    /// assumption sets tried — the incremental pattern the KC2-style attack
+    /// depends on.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        // Drop any model left over from a previous call so the new
+        // assumptions take effect from a clean root.
+        self.cancel_until(0);
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        let result = loop {
+            let limit = 100 * luby(restart_idx);
+            restart_idx += 1;
+            match self.search(assumptions, limit, budget_start) {
+                Some(r) => break r,
+                None => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        };
+        if result != SatResult::Sat {
+            self.cancel_until(0);
+        }
+        result
+    }
+
+    /// After [`SatResult::Sat`], extracts the full model as a bool per var.
+    pub fn model(&self) -> Vec<bool> {
+        (0..self.num_vars())
+            .map(|i| self.assigns[i] == 1)
+            .collect()
+    }
+
+    /// Returns to decision level 0 (dropping any model), making the solver
+    /// ready for clause additions.
+    pub fn backtrack_to_root(&mut self) {
+        self.cancel_until(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Runs CDCL until SAT/UNSAT, the per-restart conflict `limit`, the
+    /// global budget, or the deadline. `None` means "restart".
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        limit: u64,
+        budget_start: u64,
+    ) -> Option<SatResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict within the assumption prefix: UNSAT under
+                    // these assumptions (we do not compute a core).
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                let bt_level = bt_level.max(assumptions.len() as u32).min(
+                    // Never backtrack above an assumption that the learnt
+                    // clause does not involve; clamping to assumption count
+                    // keeps assumption decisions intact when possible.
+                    self.decision_level() - 1,
+                );
+                self.cancel_until(bt_level);
+                self.learn(learnt);
+                self.var_decay();
+                self.cla_decay();
+            } else {
+                if conflicts_here >= limit {
+                    return None; // restart
+                }
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        return Some(SatResult::Unknown);
+                    }
+                }
+                if let Some(dl) = self.deadline {
+                    // Checking the clock is cheap relative to propagation
+                    // between conflicts.
+                    if Instant::now() >= dl {
+                        return Some(SatResult::Unknown);
+                    }
+                }
+                if self.num_learnts > 4000 + 2 * self.clauses.len() {
+                    self.reduce_db();
+                }
+                // Assumption decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // Already satisfied; open an empty level so the
+                            // prefix invariant (level i decided by
+                            // assumption i) is preserved.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => return Some(SatResult::Unsat),
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, UNDEF_CLAUSE);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return Some(SatResult::Sat),
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, UNDEF_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
+        let v = lit.var().index();
+        debug_assert_eq!(self.assigns[v], 0);
+        self.assigns[v] = if lit.is_positive() { 1 } else { -1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Take the watch list for !p; rebuild it as we go.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                // Blocker fast path.
+                if self.lit_value(w.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure false_lit is at position 1.
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[i] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut found = false;
+                {
+                    let len = self.clauses[cref].lits.len();
+                    for k in 2..len {
+                        let lk = self.clauses[cref].lits[k];
+                        if self.lit_value(lk) != Some(false) {
+                            self.clauses[cref].lits.swap(1, k);
+                            self.watches[lk.index()].push(Watcher {
+                                cref: w.cref,
+                                blocker: first,
+                            });
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                if found {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: restore remaining watches and bail.
+                    self.watches[false_lit.index()].append(&mut ws.split_off(i));
+                    // Put back what we kept so far.
+                    let mut kept = ws;
+                    self.watches[false_lit.index()].append(&mut kept);
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.unchecked_enqueue(first, w.cref);
+                i += 1;
+            }
+            self.watches[false_lit.index()].append(&mut ws);
+            // Note: append leaves `ws` empty; ordering within the list is
+            // irrelevant for correctness.
+        }
+        None
+    }
+
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut path = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            debug_assert_ne!(confl, UNDEF_CLAUSE);
+            self.bump_clause(confl as usize);
+            let start = usize::from(p.is_some());
+            // Iterate literals of the conflicting/reason clause.
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal on the trail to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            path -= 1;
+            if path == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[pl.var().index()];
+        }
+        // Cheap self-subsumption minimization: drop literals whose reason
+        // clause is entirely covered by the learnt clause.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l, &learnt))
+            .collect();
+        let mut out = vec![learnt[0]];
+        out.extend(keep);
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Compute backtrack level: second-highest level in the clause.
+        let bt = if out.len() == 1 {
+            0
+        } else {
+            // Move the max-level literal (other than UIP) to position 1.
+            let mut max_i = 1;
+            for i in 2..out.len() {
+                if self.level[out[i].var().index()] > self.level[out[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            out.swap(1, max_i);
+            self.level[out[1].var().index()]
+        };
+        (out, bt)
+    }
+
+    /// True when `l`'s reason clause contains only literals already in the
+    /// learnt clause (marked seen) or assigned at level 0.
+    fn redundant(&self, l: Lit, _learnt: &[Lit]) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == UNDEF_CLAUSE {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], UNDEF_CLAUSE);
+        } else {
+            let first = learnt[0];
+            let cref = self.attach_clause(learnt, true);
+            self.unchecked_enqueue(first, cref);
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].index()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].index()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: if learnt { self.cla_inc } else { 0.0 },
+        });
+        if learnt {
+            self.num_learnts += 1;
+        } else {
+            self.stats.clauses += 1;
+        }
+        cref
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let until = self.trail_lim[level as usize];
+        for i in (until..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = 0;
+            self.polarity[v.index()] = self.trail[i].is_positive();
+            self.reason[v.index()] = UNDEF_CLAUSE;
+            if self.heap_pos[v.index()] == usize::MAX {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(until);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt clause indices not currently used as reasons.
+        let locked: std::collections::HashSet<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != UNDEF_CLAUSE)
+            .collect();
+        let mut learnt_idx: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt && !c.deleted && c.lits.len() > 2 && !locked.contains(&(*i as u32))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let kill = learnt_idx.len() / 2;
+        for &i in &learnt_idx[..kill] {
+            self.clauses[i].deleted = true;
+            self.num_learnts -= 1;
+        }
+        // Deleted clauses are pruned lazily from watch lists in propagate().
+    }
+
+    // ------------------------------------------------------------------
+    // VSIDS
+    // ------------------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v.index()] != usize::MAX {
+            self.heap_sift_up(self.heap_pos[v.index()]);
+        }
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, c: usize) {
+        if !self.clauses[c].learnt {
+            return;
+        }
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn cla_decay(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Activity-ordered binary max-heap.
+    // ------------------------------------------------------------------
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        debug_assert_eq!(self.heap_pos[v.index()], usize::MAX);
+        self.heap.push(v);
+        self.heap_pos[v.index()] = self.heap.len() - 1;
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].index()] = i;
+        self.heap_pos[self.heap[j].index()] = j;
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
+fn luby(mut i: u64) -> u64 {
+    // Find the subsequence containing index i.
+    let mut size = 1u64;
+    let mut seq = 0u64;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() as usize) - 1];
+        Lit::new(v, i > 0)
+    }
+
+    fn solve_clauses(n: usize, clauses: &[&[i32]]) -> (SatResult, Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for c in clauses {
+            let cl: Vec<Lit> = c.iter().map(|&i| lit(&vars, i)).collect();
+            s.add_clause(&cl);
+        }
+        let r = s.solve();
+        (r, s, vars)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (r, s, vars) = solve_clauses(2, &[&[1, 2], &[-1]]);
+        assert_eq!(r, SatResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(false));
+        assert_eq!(s.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (r, _, _) = solve_clauses(1, &[&[1], &[-1]]);
+        assert_eq!(r, SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x1 ^ x2 = 1 encoded in CNF; satisfiable.
+        let (r, s, vars) = solve_clauses(2, &[&[1, 2], &[-1, -2]]);
+        assert_eq!(r, SatResult::Sat);
+        let m = (
+            s.value(vars[0]).expect("assigned"),
+            s.value(vars[1]).expect("assigned"),
+        );
+        assert!(m.0 != m.1);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is UNSAT and exercises learning.
+    fn pigeonhole(holes: usize) -> (SatResult, u64) {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Var(0); holes]; pigeons];
+        for p in var.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        // Every pigeon is in some hole.
+        for p in 0..pigeons {
+            let cl: Vec<Lit> = (0..holes).map(|h| Lit::positive(var[p][h])).collect();
+            s.add_clause(&cl);
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[Lit::negative(var[p1][h]), Lit::negative(var[p2][h])]);
+                }
+            }
+        }
+        let r = s.solve();
+        (r, s.stats().conflicts)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            let (r, _) = pigeonhole(holes);
+            assert_eq!(r, SatResult::Unsat, "PHP({}, {holes})", holes + 1);
+        }
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        // Under assumption !a & !b: UNSAT.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]),
+            SatResult::Unsat
+        );
+        // Without assumptions, still SAT.
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Under a single assumption, the other var is forced.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn repeated_assumption_solves_respect_new_assumptions() {
+        // Regression: a second solve_with_assumptions on the same solver
+        // must not return the previous model.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::positive(a)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::positive(vars[0]), Lit::positive(vars[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[Lit::negative(vars[0])]);
+        s.add_clause(&[Lit::negative(vars[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard instance with a tiny budget must return Unknown.
+        let pigeons = 9;
+        let holes = 8;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Var(0); holes]; pigeons];
+        for p in var.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            let cl: Vec<Lit> = (0..holes).map(|h| Lit::positive(var[p][h])).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[Lit::negative(var[p1][h]), Lit::negative(var[p2][h])]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_budget(None);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::positive(a), Lit::negative(a)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::positive(a), Lit::positive(a)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (_, s, _) = solve_clauses(3, &[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3]]);
+        let st = s.stats();
+        assert!(st.clauses >= 3);
+    }
+
+    /// Brute-force reference check on small random 3-SAT instances.
+    #[test]
+    fn agrees_with_brute_force() {
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..60 {
+            let n = 4 + (next() % 6) as usize; // 4..=9 vars
+            let m = n * 4;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % n as u64) as i32 + 1;
+                    let s = if next() & 1 == 0 { v } else { -v };
+                    c.push(s);
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut any = false;
+            'outer: for m_bits in 0..(1u32 << n) {
+                for c in &clauses {
+                    let sat = c.iter().any(|&l| {
+                        let v = l.unsigned_abs() as usize - 1;
+                        let val = m_bits >> v & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !sat {
+                        continue 'outer;
+                    }
+                }
+                any = true;
+                break;
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let (r, s, vars) = solve_clauses(n, &refs);
+            let expect = if any { SatResult::Sat } else { SatResult::Unsat };
+            assert_eq!(r, expect, "round {round}: {clauses:?}");
+            if r == SatResult::Sat {
+                // Verify the model actually satisfies the clauses.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| {
+                            let val = s.value(vars[l.unsigned_abs() as usize - 1]).unwrap_or(false);
+                            if l > 0 {
+                                val
+                            } else {
+                                !val
+                            }
+                        }),
+                        "model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

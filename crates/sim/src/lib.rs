@@ -1,0 +1,51 @@
+//! Cycle-accurate logic simulation for the Cute-Lock suite.
+//!
+//! Provides the oracle substrate used throughout the workspace:
+//!
+//! * [`Logic`] — three-valued (`0`/`1`/`X`) signal values;
+//! * [`Simulator`] — event-free, levelized cycle simulator over a
+//!   [`Netlist`](cutelock_netlist::Netlist) with three-valued semantics;
+//! * [`ParallelSim`] — 64-way bit-parallel two-valued simulator for fast
+//!   random simulation (switching activity, functional analysis attacks);
+//! * [`oracle`] — the sequential/combinational oracle traits that attacks
+//!   query, plus the netlist-backed implementations;
+//! * [`activity`] — switching-activity estimation feeding the power model;
+//! * [`trace`] — waveform capture used by the validation tables.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_netlist::bench;
+//! use cutelock_sim::{Logic, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = bench::parse(
+//!     "cnt",
+//!     "INPUT(en)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+//! )?;
+//! let mut sim = Simulator::new(&nl)?;
+//! sim.reset_to(Logic::Zero);
+//! sim.set_input_by_name("en", Logic::One)?;
+//! sim.eval();
+//! assert_eq!(sim.output_values(), vec![Logic::Zero]); // q starts at 0
+//! sim.step();
+//! sim.eval();
+//! assert_eq!(sim.output_values(), vec![Logic::One]); // q toggled
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+mod logic;
+pub mod oracle;
+mod parallel;
+mod simulator;
+pub mod trace;
+
+pub use logic::Logic;
+pub use oracle::{CombOracle, NetlistCombOracle, NetlistOracle, SequentialOracle};
+pub use parallel::ParallelSim;
+pub use simulator::Simulator;

@@ -1,0 +1,28 @@
+//! Overhead analysis: a 45nm-style technology model replacing Cadence Genus.
+//!
+//! Fig. 4 of the Cute-Lock paper reports four overhead metrics of locked
+//! vs. original circuits after 45nm synthesis: **power**, **area**, **cell
+//! count** and **I/O count**. This crate reproduces that flow in-workspace:
+//!
+//! * [`CellLibrary`] — a small standard-cell library whose area and power
+//!   parameters follow the open 45nm (Nangate-class) libraries;
+//! * [`tech_map`] — decomposition of the netlist's n-ary gates into 2-input
+//!   library cells (the granularity Genus reports cell counts at);
+//! * [`analyze`] — area/power/cell/IO extraction, with dynamic power driven
+//!   by switching activity from random simulation
+//!   ([`cutelock_sim::activity`]);
+//! * [`OverheadComparison`] — locked-vs-original percentage overheads, the
+//!   series plotted in Fig. 4.
+//!
+//! Absolute watts and µm² are model outputs, not silicon measurements; the
+//! comparison percentages are what the paper's figure actually shows, and
+//! those depend only on consistent modeling (see `DESIGN.md` §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod library;
+mod report;
+
+pub use library::{CellLibrary, CellParams};
+pub use report::{analyze, tech_map, OverheadComparison, OverheadReport, TechMapped};

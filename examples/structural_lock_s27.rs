@@ -1,0 +1,84 @@
+//! Cute-Lock-Str anatomy on s27 (paper Figs. 2–3): what the MUX tree looks
+//! like structurally, and why the wrongful hardware is "free".
+//!
+//! ```text
+//! cargo run --release --example structural_lock_s27
+//! ```
+
+use cute_lock::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = cute_lock::circuits::s27::s27();
+
+    for (label, style) in [
+        ("FullTree (Fig. 3 literal)", MuxTreeStyle::FullTree),
+        ("Comparator (wide-key form)", MuxTreeStyle::Comparator),
+    ] {
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            style,
+            seed: 27,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&original)?;
+
+        let orig_stats = NetlistStats::of(&original);
+        let lock_stats = NetlistStats::of(&locked.netlist);
+        println!("== {label}");
+        println!("   original: {orig_stats}");
+        println!("   locked:   {lock_stats}");
+        println!(
+            "   added: {} gates, {} FFs (the counter), {} key inputs",
+            lock_stats.gates - orig_stats.gates,
+            lock_stats.dffs - orig_stats.dffs,
+            lock_stats.key_inputs
+        );
+        let muxes = lock_stats
+            .per_kind
+            .get(&GateKind::Mux)
+            .copied()
+            .unwrap_or(0);
+        println!("   MUX-tree cells: {muxes} (m = log2(k)+1 = 3 layers)");
+        assert!(locked.verify_equivalence(500, 9)?);
+
+        // The wrongful hardware is repurposed, not synthesized: every MUX
+        // data input is an *existing* next-state cone. Show the .bench
+        // lines of the locked flip-flop's new input cone.
+        let f = locked.locked_ffs[0];
+        let d = locked.netlist.dffs()[f].d();
+        println!(
+            "   locked FF #{f} ({}) now driven by `{}`:",
+            locked.netlist.dffs()[f].name(),
+            locked.netlist.net_name(d)
+        );
+        let text = bench::write(&locked.netlist);
+        for line in text.lines().filter(|l| l.contains("lk0_")) {
+            println!("     {line}");
+        }
+        println!();
+    }
+
+    // Overhead through the 45nm model (one Fig. 4 data point).
+    let locked = CuteLockStr::new(CuteLockStrConfig {
+        keys: 4,
+        key_bits: 3,
+        locked_ffs: 1,
+        seed: 27,
+        schedule: None,
+        ..Default::default()
+    })
+    .lock(&original)?;
+    let lib = CellLibrary::default();
+    let cmp = OverheadComparison::between(&original, &locked.netlist, &lib, 300, 5)?;
+    println!(
+        "45nm model overhead on s27: power {:+.1}%  area {:+.1}%  cells {:+.1}%  IO {:+.1}%",
+        cmp.power_pct(),
+        cmp.area_pct(),
+        cmp.cells_pct(),
+        cmp.ios_pct()
+    );
+    Ok(())
+}

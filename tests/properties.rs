@@ -1,0 +1,221 @@
+//! Property-based tests over the core substrates.
+//!
+//! Circuits are drawn by seeding the deterministic benchmark generator, so
+//! every failure is reproducible from the printed seed.
+
+use std::collections::HashMap;
+
+use cute_lock::prelude::*;
+use cute_lock::circuits::seqgen;
+use cute_lock::circuits::Profile;
+use cute_lock::netlist::unroll::{scan_view, unroll, InitState, KeySharing};
+use cute_lock::sat::{tseitin, SatResult, Solver};
+use cute_lock::sim::ParallelSim;
+use proptest::prelude::*;
+
+/// A small random sequential circuit from a seed.
+fn circuit_from_seed(seed: u64) -> BenchmarkCircuit {
+    let profile = Profile {
+        name: "prop",
+        inputs: 2 + (seed % 5) as usize,
+        outputs: 1 + (seed % 4) as usize,
+        dffs: 3 + (seed % 9) as usize,
+        gates: 40 + (seed % 80) as usize,
+    };
+    seqgen::generate(&profile, seed).expect("generator is total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `.bench` writing and re-parsing is lossless.
+    #[test]
+    fn bench_round_trip(seed in 0u64..10_000) {
+        let c = circuit_from_seed(seed);
+        let again = bench::reparse(&c.netlist).expect("reparses");
+        prop_assert!(bench::structurally_equal(&c.netlist, &again));
+    }
+
+    /// Unrolling over k frames agrees with sequential simulation.
+    #[test]
+    fn unroll_matches_sequential_simulation(seed in 0u64..10_000, frames in 1usize..5) {
+        let c = circuit_from_seed(seed);
+        let nl = &c.netlist;
+        let u = unroll(nl, frames, InitState::FromInit, KeySharing::Shared)
+            .expect("unrolls");
+        // Drive both with the same pseudo-random input sequence.
+        let mut orc = NetlistOracle::new(nl.clone()).expect("oracle");
+        orc.reset();
+        let mut comb = NetlistOracle::new(u.netlist.clone()).expect("comb oracle");
+        let mut comb_inputs = vec![false; u.netlist.input_count()];
+        let mut expected = Vec::new();
+        let mut rng = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+        for t in 0..frames {
+            let inputs: Vec<bool> = (0..nl.input_count())
+                .map(|i| {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    (rng >> (i % 60)) & 1 == 1
+                })
+                .collect();
+            expected.push(orc.step(&inputs));
+            // Place the frame inputs into the unrolled input vector.
+            for (pos, &id) in u.frame_inputs[t].iter().enumerate() {
+                let idx = u
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|&x| x == id)
+                    .expect("input present");
+                comb_inputs[idx] = inputs[pos];
+            }
+        }
+        // One combinational evaluation of the unrolled circuit.
+        let all = cute_lock::sim::SequentialOracle::step(&mut comb, &comb_inputs);
+        // Outputs are ordered frame by frame.
+        let mut at = 0usize;
+        for (t, exp) in expected.iter().enumerate() {
+            let got = &all[at..at + exp.len()];
+            prop_assert_eq!(got, exp.as_slice(), "frame {}", t);
+            at += exp.len();
+        }
+    }
+
+    /// The scan view computes exactly one sequential step.
+    #[test]
+    fn scan_view_is_one_step(seed in 0u64..10_000) {
+        let c = circuit_from_seed(seed);
+        let nl = &c.netlist;
+        let sv = scan_view(nl).expect("scan view");
+        let mut orc = NetlistOracle::new(nl.clone()).expect("oracle");
+        let state: Vec<bool> = (0..nl.dff_count()).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
+        let inputs: Vec<bool> = (0..nl.input_count()).map(|i| (seed >> (i % 53)) & 1 == 0).collect();
+        let (want_y, want_ns) = orc.scan_query(&state, &inputs);
+        // Evaluate the scan view combinationally.
+        let mut comb = NetlistOracle::new(sv.netlist.clone()).expect("comb oracle");
+        let mut full = inputs.clone();
+        full.extend(state.iter().copied());
+        let all = cute_lock::sim::SequentialOracle::step(&mut comb, &full);
+        let got_y = &all[..nl.output_count()];
+        let got_ns = &all[nl.output_count()..];
+        prop_assert_eq!(got_y, want_y.as_slice());
+        prop_assert_eq!(got_ns, want_ns.as_slice());
+    }
+
+    /// Tseitin encoding agrees with simulation on a random input pattern.
+    #[test]
+    fn tseitin_matches_simulation(seed in 0u64..10_000) {
+        let c = circuit_from_seed(seed);
+        let sv = scan_view(&c.netlist).expect("scan view");
+        let nl = &sv.netlist;
+        let mut solver = Solver::new();
+        let cnf = tseitin::encode(nl, &mut solver, &HashMap::new()).expect("encodes");
+        // Pin every input to a pseudo-random value via unit clauses.
+        let mut psim = ParallelSim::new(nl).expect("compiles");
+        let mut words = Vec::new();
+        for (i, &inp) in nl.inputs().iter().enumerate() {
+            let bit = (seed >> (i % 61)) & 1 == 1;
+            words.push(if bit { !0u64 } else { 0 });
+            let l = cnf.lit(inp);
+            solver.add_clause(&[if bit { l } else { !l }]);
+        }
+        psim.set_all_inputs(&words);
+        psim.eval();
+        prop_assert_eq!(solver.solve(), SatResult::Sat);
+        for &o in nl.outputs() {
+            let want = psim.value(o) & 1 == 1;
+            let got = solver.lit_value(cnf.lit(o)).expect("assigned");
+            prop_assert_eq!(got, want, "output {}", nl.net_name(o));
+        }
+    }
+
+    /// The scalar and 64-lane simulators agree lane-for-lane.
+    #[test]
+    fn scalar_and_parallel_simulators_agree(seed in 0u64..10_000) {
+        let c = circuit_from_seed(seed);
+        let nl = &c.netlist;
+        let mut scalar = Simulator::new(nl).expect("compiles");
+        let mut par = ParallelSim::new(nl).expect("compiles");
+        scalar.reset();
+        par.reset();
+        let mut rng = seed | 1;
+        for _ in 0..8 {
+            let bits: Vec<bool> = (0..nl.input_count())
+                .map(|_| {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng & 1 == 1
+                })
+                .collect();
+            let logic: Vec<Logic> = bits.iter().map(|&b| Logic::from_bool(b)).collect();
+            let words: Vec<u64> = bits.iter().map(|&b| u64::from(b)).collect();
+            let s_out = scalar.cycle_with(&logic);
+            par.set_all_inputs(&words);
+            par.eval();
+            let p_out: Vec<Logic> = par
+                .output_values()
+                .iter()
+                .map(|&w| Logic::from_bool(w & 1 == 1))
+                .collect();
+            par.step();
+            prop_assert_eq!(s_out, p_out);
+        }
+    }
+
+    /// Locking with Cute-Lock-Str preserves functionality under the correct
+    /// schedule for arbitrary configurations.
+    #[test]
+    fn str_lock_always_equivalent_under_correct_keys(
+        seed in 0u64..2_000,
+        keys in 1usize..6,
+        ki in 1usize..7,
+        ffs in 1usize..4,
+    ) {
+        let c = circuit_from_seed(seed);
+        let ffs = ffs.min(c.netlist.dff_count());
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys,
+            key_bits: ki,
+            locked_ffs: ffs,
+            seed,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&c.netlist)
+        .expect("locks");
+        prop_assert!(locked.verify_equivalence(60, seed ^ 1).expect("simulates"));
+    }
+
+    /// NMI is symmetric, bounded, and invariant under label permutation.
+    #[test]
+    fn nmi_properties(labels in proptest::collection::vec(0usize..5, 2..40)) {
+        let n = labels.len();
+        let other: Vec<usize> = labels.iter().map(|&l| (l * 7 + 3) % 5).collect();
+        let v = nmi(&labels, &other);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - nmi(&other, &labels)).abs() < 1e-12, "symmetry");
+        // Permuting label names does not change the score.
+        let renamed: Vec<usize> = labels.iter().map(|&l| 4 - l).collect();
+        prop_assert!((nmi(&labels, &renamed) - 1.0).abs() < 1e-9 || n == 1);
+    }
+
+    /// Key schedules round-trip through their integer representation.
+    #[test]
+    fn key_schedule_round_trip(k in 1usize..8, ki in 1usize..20, seed in 0u64..1000) {
+        let s = KeySchedule::random(k, ki, seed);
+        prop_assert_eq!(s.num_keys(), k);
+        prop_assert_eq!(s.key_bits(), ki);
+        for t in 0..k {
+            let kv = s.key_at_time(t);
+            if ki <= 64 {
+                let v = kv.as_u64().expect("fits");
+                prop_assert_eq!(&KeyValue::from_u64(v, ki), kv);
+            }
+        }
+        if k >= 2 {
+            prop_assert!(!s.is_constant(), "random schedules must be multi-key");
+        }
+    }
+}
