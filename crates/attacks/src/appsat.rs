@@ -148,8 +148,7 @@ impl<'a> ScanModel<'a> {
         for (&sid, &l) in self.sv.state_inputs.clone().iter().zip(ss) {
             map.insert(sid, l);
         }
-        let cnf =
-            tseitin::encode(&self.sv.netlist, &mut self.solver, &map).expect("combinational");
+        let cnf = tseitin::encode(&self.sv.netlist, &mut self.solver, &map).expect("combinational");
         let pos: Vec<Lit> = self
             .locked
             .netlist
@@ -326,10 +325,8 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
                 {
                     let s_shared: Vec<bool> = m.shared_ffs.iter().map(|&f| s[f]).collect();
                     let (y, s_next) = m.oracle.scan_query(&s_shared, &x);
-                    let xc: Vec<Lit> =
-                        x.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
-                    let sc: Vec<Lit> =
-                        s.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
+                    let xc: Vec<Lit> = x.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
+                    let sc: Vec<Lit> = s.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
                     let (pos, next) = m.encode_copy(&k3.clone(), &xc, &sc);
                     for (&p, &v) in pos.iter().zip(&y) {
                         m.solver.add_clause(&[if v { p } else { !p }]);

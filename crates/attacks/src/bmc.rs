@@ -77,6 +77,14 @@ struct Chain {
     state: Vec<Lit>,
 }
 
+/// A remembered DIP: per-frame input vectors with the oracle's per-frame
+/// output vectors.
+type DipTrace = (Vec<Vec<bool>>, Vec<Vec<bool>>);
+
+/// Incremental-mode solver state: solver, the two key-literal vectors, both
+/// miter chains, and the shared secret-initial-state literals (if any).
+type IncState = (Solver, Vec<Lit>, Vec<Lit>, Chain, Chain, Option<Vec<Lit>>);
+
 /// The shared DIP-loop engine (also used by [`crate::kc2`] and
 /// [`crate::rane`]).
 pub(crate) struct Engine<'a> {
@@ -170,8 +178,8 @@ impl<'a> Engine<'a> {
         for (&sid, &l) in self.sv.state_inputs.iter().zip(state_in) {
             shared.insert(sid, l);
         }
-        let cnf = tseitin::encode(&self.sv.netlist, solver, &shared)
-            .expect("scan view is combinational");
+        let cnf =
+            tseitin::encode(&self.sv.netlist, solver, &shared).expect("scan view is combinational");
         let pos: Vec<Lit> = self
             .locked
             .netlist
@@ -256,10 +264,10 @@ impl<'a> Engine<'a> {
 
         // Remembered DIP sequences with oracle answers (replayed in BBO
         // mode, where the solver is rebuilt per bound).
-        let mut dips: Vec<(Vec<Vec<bool>>, Vec<Vec<bool>>)> = Vec::new();
+        let mut dips: Vec<DipTrace> = Vec::new();
 
         // Solver state: (solver, k1, k2, chain1, chain2, secret-state vars).
-        let mut inc: Option<(Solver, Vec<Lit>, Vec<Lit>, Chain, Chain, Option<Vec<Lit>>)> = None;
+        let mut inc: Option<IncState> = None;
         let mut diff_lits: Vec<Lit> = Vec::new();
         let mut fixed: Vec<Option<bool>> = vec![None; ki];
 

@@ -23,6 +23,10 @@ use std::time::{Duration, Instant};
 
 use cutelock_netlist::{cone, Driver, GateKind, Netlist};
 
+/// Refinement signature of one flip-flop: driver kind, whether its cone reads
+/// a primary input, predecessor labels, successor labels, and its own label.
+type FfSignature = (Option<GateKind>, bool, Vec<usize>, Vec<usize>, usize);
+
 /// Result of a DANA run.
 #[derive(Debug, Clone)]
 pub struct DanaReport {
@@ -79,8 +83,7 @@ pub fn dana_attack(nl: &Netlist) -> DanaReport {
     // Partition refinement.
     let mut labels = vec![0usize; n];
     for _round in 0..64 {
-        let mut sig_map: HashMap<(Option<GateKind>, bool, Vec<usize>, Vec<usize>, usize), usize> =
-            HashMap::new();
+        let mut sig_map: HashMap<FfSignature, usize> = HashMap::new();
         let mut next = vec![0usize; n];
         for f in 0..n {
             let pred_groups: BTreeSet<usize> = preds[f].iter().map(|&p| labels[p]).collect();
@@ -177,12 +180,12 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
 /// Scores a DANA result against ground truth restricted to the first
 /// `n_original` flip-flops (lock-inserted state elements have no ground
 /// truth and are excluded, as in the paper's locked-vs-original scoring).
-pub fn score_against_ground_truth(
-    report: &DanaReport,
-    ground_truth_labels: &[usize],
-) -> f64 {
+pub fn score_against_ground_truth(report: &DanaReport, ground_truth_labels: &[usize]) -> f64 {
     let n = ground_truth_labels.len();
-    nmi(&report.labels[..n.min(report.labels.len())], ground_truth_labels)
+    nmi(
+        &report.labels[..n.min(report.labels.len())],
+        ground_truth_labels,
+    )
 }
 
 #[cfg(test)]
@@ -212,7 +215,7 @@ mod tests {
         let a = vec![0, 0, 1, 1];
         let b = vec![0, 1, 0, 1];
         let v = nmi(&a, &b);
-        assert!(v >= 0.0 && v < 0.1, "independent labelings: {v}");
+        assert!((0.0..0.1).contains(&v), "independent labelings: {v}");
         let c = vec![0, 0, 1, 2];
         let v2 = nmi(&a, &c);
         assert!(v2 > 0.5 && v2 < 1.0, "partial agreement: {v2}");
@@ -240,8 +243,7 @@ mod tests {
         })
         .lock(&c.netlist)
         .unwrap();
-        let locked_score =
-            score_against_ground_truth(&dana_attack(&lc.netlist), &c.word_labels());
+        let locked_score = score_against_ground_truth(&dana_attack(&lc.netlist), &c.word_labels());
         assert!(
             locked_score < clean,
             "locking must degrade NMI: clean {clean} vs locked {locked_score}"
@@ -250,11 +252,8 @@ mod tests {
 
     #[test]
     fn dana_handles_stateless_netlist() {
-        let nl = cutelock_netlist::bench::parse(
-            "comb",
-            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
-        )
-        .unwrap();
+        let nl =
+            cutelock_netlist::bench::parse("comb", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
         let report = dana_attack(&nl);
         assert!(report.clusters.is_empty());
     }

@@ -118,11 +118,8 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
     }
 
     // ---- Functional phase: pair strip & restore over equal signal sets ----
-    let key_order: HashMap<NetId, usize> = key_set
-        .iter()
-        .enumerate()
-        .map(|(i, &k)| (k, i))
-        .collect();
+    let key_order: HashMap<NetId, usize> =
+        key_set.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let mut candidates: Vec<(NetId, NetId, KeyValue)> = Vec::new();
     for s in &strips {
         let ComparatorKind::Strip(pattern) = &s.kind else {
@@ -132,9 +129,7 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
             let ComparatorKind::Restore(pairs) = &r.kind else {
                 continue;
             };
-            if pattern.len() != pairs.len()
-                || !pattern.keys().eq(pairs.keys())
-            {
+            if pattern.len() != pairs.len() || !pattern.keys().eq(pairs.keys()) {
                 continue;
             }
             // Candidate key: for each signal, key bit := strip polarity.
@@ -314,7 +309,9 @@ mod tests {
 
     #[test]
     fn fall_on_ttlock_recovers_correct_protected_pattern() {
-        let lc = TtLock::new(5, 9).lock(&itc99("b08").unwrap().netlist).unwrap();
+        let lc = TtLock::new(5, 9)
+            .lock(&itc99("b08").unwrap().netlist)
+            .unwrap();
         let report = fall_attack(&lc);
         if let AttackOutcome::KeyFound(k) = &report.outcome {
             assert_eq!(k, lc.schedule.key_at_time(0));

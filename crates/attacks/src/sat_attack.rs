@@ -125,10 +125,26 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
         .map(|_| Lit::positive(solver.new_var()))
         .collect();
     let (po1, ns1) = encode_copy(
-        &mut solver, locked, &sv, &sv_net, &k1, &xs, &ss, &data_inputs, &shared,
+        &mut solver,
+        locked,
+        &sv,
+        &sv_net,
+        &k1,
+        &xs,
+        &ss,
+        &data_inputs,
+        &shared,
     );
     let (po2, ns2) = encode_copy(
-        &mut solver, locked, &sv, &sv_net, &k2, &xs, &ss, &data_inputs, &shared,
+        &mut solver,
+        locked,
+        &sv,
+        &sv_net,
+        &k2,
+        &xs,
+        &ss,
+        &data_inputs,
+        &shared,
     );
     let mut obs1 = po1;
     obs1.extend(ns1);
@@ -162,7 +178,15 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
                     let xc: Vec<Lit> = x_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
                     let sc: Vec<Lit> = s_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
                     let (pos, next) = encode_copy(
-                        &mut solver, locked, &sv, &sv_net, keys, &xc, &sc, &data_inputs, &shared,
+                        &mut solver,
+                        locked,
+                        &sv,
+                        &sv_net,
+                        keys,
+                        &xc,
+                        &sc,
+                        &data_inputs,
+                        &shared,
                     );
                     for (&p, &v) in pos.iter().zip(&y) {
                         solver.add_clause(&[if v { p } else { !p }]);

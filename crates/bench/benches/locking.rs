@@ -58,7 +58,11 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| XorLock::new(16, 1).lock(&circuit.netlist).expect("locks"))
     });
     group.bench_function("dk_lock_10_10", |b| {
-        b.iter(|| DkLock::new(10, 10, 1).lock(&circuit.netlist).expect("locks"))
+        b.iter(|| {
+            DkLock::new(10, 10, 1)
+                .lock(&circuit.netlist)
+                .expect("locks")
+        })
     });
     group.finish();
 }

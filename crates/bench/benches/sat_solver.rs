@@ -20,9 +20,10 @@ fn pigeonhole(holes: usize) -> Solver {
         s.add_clause(&clause);
     }
     for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in p1 + 1..pigeons {
-                s.add_clause(&[Lit::negative(vars[p1][h]), Lit::negative(vars[p2][h])]);
+        let column: Vec<Lit> = vars.iter().map(|p| Lit::negative(p[h])).collect();
+        for (i, &l1) in column.iter().enumerate() {
+            for &l2 in column.iter().skip(i + 1) {
+                s.add_clause(&[l1, l2]);
             }
         }
     }
@@ -61,11 +62,10 @@ fn bench_unroll_and_solve(c: &mut Criterion) {
     let circuit = itc99("b03").expect("exists");
     c.bench_function("unroll_b03_x8_and_sat", |b| {
         b.iter(|| {
-            let u = unroll(&circuit.netlist, 8, InitState::Zero, KeySharing::Shared)
-                .expect("unrolls");
+            let u =
+                unroll(&circuit.netlist, 8, InitState::Zero, KeySharing::Shared).expect("unrolls");
             let mut solver = Solver::new();
-            let cnf =
-                tseitin::encode(&u.netlist, &mut solver, &HashMap::new()).expect("encodes");
+            let cnf = tseitin::encode(&u.netlist, &mut solver, &HashMap::new()).expect("encodes");
             // Satisfy with one output pinned — exercises propagation.
             let out = u.frame_outputs[7][0];
             solver.add_clause(&[cnf.lit(out)]);

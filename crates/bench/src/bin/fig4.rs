@@ -46,7 +46,12 @@ fn compare(original: &Netlist, locked: &Netlist, lib: &CellLibrary) -> Row {
     }
 }
 
-fn str_lock(original: &Netlist, keys: usize, ki: usize, wrongful: WrongfulSource) -> Option<Netlist> {
+fn str_lock(
+    original: &Netlist,
+    keys: usize,
+    ki: usize,
+    wrongful: WrongfulSource,
+) -> Option<Netlist> {
     CuteLockStr::new(CuteLockStrConfig {
         keys,
         key_bits: ki,
@@ -73,11 +78,9 @@ fn main() {
 
     // Per-series accumulators for the trend summary.
     let mut series_sums: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut record = |label: &str, r: &Row| {
-        match series_sums.iter_mut().find(|(l, _)| l == label) {
-            Some((_, v)) => v.push(r.area),
-            None => series_sums.push((label.to_string(), vec![r.area])),
-        }
+    let mut record = |label: &str, r: &Row| match series_sums.iter_mut().find(|(l, _)| l == label) {
+        Some((_, v)) => v.push(r.area),
+        None => series_sums.push((label.to_string(), vec![r.area])),
     };
 
     let mut first_small: Option<f64> = None;

@@ -39,8 +39,7 @@ fn main() {
     let mut resisted = 0usize;
     let mut recovered = 0usize;
     let mut ran = 0usize;
-    let suites: [(&str, &[(&str, usize, usize)]); 2] =
-        [("ISCAS'89", TABLE4_ISCAS), ("ITC'99", TABLE4_ITC)];
+    let suites = [("ISCAS'89", TABLE4_ISCAS), ("ITC'99", TABLE4_ITC)];
     for (suite, rows) in suites {
         println!("-- {suite}");
         for &(name, k, ki) in rows {

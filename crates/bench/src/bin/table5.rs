@@ -105,13 +105,16 @@ fn main() {
     if opt.baselines {
         println!();
         println!("Baseline contrast: FALL against TTLock (FALL's own prey; it reports 81%)");
-        println!("{:<8} {:>10} {:>6} {:>12}", "Circuit", "Candidates", "Keys", "CPU (s)");
+        println!(
+            "{:<8} {:>10} {:>6} {:>12}",
+            "Circuit", "Candidates", "Keys", "CPU (s)"
+        );
         rule(42);
         let mut tt_broken = 0usize;
         let mut tt_total = 0usize;
         for &name in TABLE5.iter().take(if opt.quick { 4 } else { 10 }) {
             let Ok(circuit) = itc99(name) else { continue };
-            let ki = circuit.netlist.input_count().min(8).max(2);
+            let ki = circuit.netlist.input_count().clamp(2, 8);
             let Ok(tt) = TtLock::new(ki, 7).lock(&circuit.netlist) else {
                 continue;
             };

@@ -72,10 +72,8 @@ impl Options {
                     }
                 }
                 "--timeout" => {
-                    opt.timeout_secs = args
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .unwrap_or_else(|| {
+                    opt.timeout_secs =
+                        args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
                             eprintln!("--timeout needs seconds\n{usage}");
                             std::process::exit(2);
                         });
@@ -105,7 +103,7 @@ impl Options {
 
     /// Whether this circuit should run.
     pub fn selected(&self, name: &str) -> bool {
-        self.only.as_deref().map_or(true, |only| only == name)
+        self.only.as_deref().is_none_or(|only| only == name)
     }
 }
 
@@ -119,8 +117,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Options {
-        let argv = std::iter::once("bin".to_string())
-            .chain(args.iter().map(|s| s.to_string()));
+        let argv = std::iter::once("bin".to_string()).chain(args.iter().map(|s| s.to_string()));
         Options::parse(argv, "usage")
     }
 

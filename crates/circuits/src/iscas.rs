@@ -11,20 +11,104 @@ use crate::{profile::Profile, seqgen, BenchmarkCircuit};
 
 /// Published profiles (inputs, outputs, FFs, approximate gates).
 const PROFILES: &[Profile] = &[
-    Profile { name: "s298", inputs: 3, outputs: 6, dffs: 14, gates: 119 },
-    Profile { name: "s349", inputs: 9, outputs: 11, dffs: 15, gates: 161 },
-    Profile { name: "s510", inputs: 19, outputs: 7, dffs: 6, gates: 211 },
-    Profile { name: "s641", inputs: 35, outputs: 24, dffs: 19, gates: 379 },
-    Profile { name: "s713", inputs: 35, outputs: 23, dffs: 19, gates: 393 },
-    Profile { name: "s832", inputs: 18, outputs: 19, dffs: 5, gates: 287 },
-    Profile { name: "s953", inputs: 16, outputs: 23, dffs: 29, gates: 395 },
-    Profile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529 },
-    Profile { name: "s1488", inputs: 8, outputs: 19, dffs: 6, gates: 653 },
-    Profile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779 },
-    Profile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 3000 },
-    Profile { name: "s13207", inputs: 62, outputs: 152, dffs: 400, gates: 3500 },
-    Profile { name: "s15850", inputs: 77, outputs: 150, dffs: 450, gates: 4000 },
-    Profile { name: "s35932", inputs: 35, outputs: 120, dffs: 576, gates: 5400 },
+    Profile {
+        name: "s298",
+        inputs: 3,
+        outputs: 6,
+        dffs: 14,
+        gates: 119,
+    },
+    Profile {
+        name: "s349",
+        inputs: 9,
+        outputs: 11,
+        dffs: 15,
+        gates: 161,
+    },
+    Profile {
+        name: "s510",
+        inputs: 19,
+        outputs: 7,
+        dffs: 6,
+        gates: 211,
+    },
+    Profile {
+        name: "s641",
+        inputs: 35,
+        outputs: 24,
+        dffs: 19,
+        gates: 379,
+    },
+    Profile {
+        name: "s713",
+        inputs: 35,
+        outputs: 23,
+        dffs: 19,
+        gates: 393,
+    },
+    Profile {
+        name: "s832",
+        inputs: 18,
+        outputs: 19,
+        dffs: 5,
+        gates: 287,
+    },
+    Profile {
+        name: "s953",
+        inputs: 16,
+        outputs: 23,
+        dffs: 29,
+        gates: 395,
+    },
+    Profile {
+        name: "s1196",
+        inputs: 14,
+        outputs: 14,
+        dffs: 18,
+        gates: 529,
+    },
+    Profile {
+        name: "s1488",
+        inputs: 8,
+        outputs: 19,
+        dffs: 6,
+        gates: 653,
+    },
+    Profile {
+        name: "s5378",
+        inputs: 35,
+        outputs: 49,
+        dffs: 179,
+        gates: 2779,
+    },
+    Profile {
+        name: "s9234",
+        inputs: 36,
+        outputs: 39,
+        dffs: 211,
+        gates: 3000,
+    },
+    Profile {
+        name: "s13207",
+        inputs: 62,
+        outputs: 152,
+        dffs: 400,
+        gates: 3500,
+    },
+    Profile {
+        name: "s15850",
+        inputs: 77,
+        outputs: 150,
+        dffs: 450,
+        gates: 4000,
+    },
+    Profile {
+        name: "s35932",
+        inputs: 35,
+        outputs: 120,
+        dffs: 576,
+        gates: 5400,
+    },
 ];
 
 /// Names of the ISCAS'89 circuits evaluated in Table IV, in table order.

@@ -11,27 +11,153 @@ use crate::{profile::Profile, seqgen, BenchmarkCircuit};
 
 /// Profiles after the documented scaling of the three largest circuits.
 const PROFILES: &[Profile] = &[
-    Profile { name: "b01", inputs: 2, outputs: 2, dffs: 5, gates: 45 },
-    Profile { name: "b02", inputs: 1, outputs: 1, dffs: 4, gates: 25 },
-    Profile { name: "b03", inputs: 4, outputs: 4, dffs: 30, gates: 150 },
-    Profile { name: "b04", inputs: 11, outputs: 8, dffs: 66, gates: 600 },
-    Profile { name: "b05", inputs: 1, outputs: 36, dffs: 34, gates: 900 },
-    Profile { name: "b06", inputs: 2, outputs: 6, dffs: 9, gates: 55 },
-    Profile { name: "b07", inputs: 1, outputs: 8, dffs: 49, gates: 380 },
-    Profile { name: "b08", inputs: 9, outputs: 4, dffs: 21, gates: 160 },
-    Profile { name: "b09", inputs: 1, outputs: 1, dffs: 28, gates: 140 },
-    Profile { name: "b10", inputs: 11, outputs: 6, dffs: 17, gates: 170 },
-    Profile { name: "b11", inputs: 7, outputs: 6, dffs: 31, gates: 480 },
-    Profile { name: "b12", inputs: 5, outputs: 6, dffs: 121, gates: 950 },
-    Profile { name: "b13", inputs: 10, outputs: 10, dffs: 53, gates: 330 },
-    Profile { name: "b14", inputs: 32, outputs: 54, dffs: 245, gates: 4200 },
-    Profile { name: "b15", inputs: 36, outputs: 70, dffs: 449, gates: 4800 },
-    Profile { name: "b17", inputs: 37, outputs: 97, dffs: 354, gates: 5600 },
-    Profile { name: "b18", inputs: 37, outputs: 23, dffs: 830, gates: 6400 },
-    Profile { name: "b19", inputs: 24, outputs: 30, dffs: 1200, gates: 7200 },
-    Profile { name: "b20", inputs: 32, outputs: 22, dffs: 490, gates: 4900 },
-    Profile { name: "b21", inputs: 32, outputs: 22, dffs: 490, gates: 5000 },
-    Profile { name: "b22", inputs: 32, outputs: 22, dffs: 735, gates: 5200 },
+    Profile {
+        name: "b01",
+        inputs: 2,
+        outputs: 2,
+        dffs: 5,
+        gates: 45,
+    },
+    Profile {
+        name: "b02",
+        inputs: 1,
+        outputs: 1,
+        dffs: 4,
+        gates: 25,
+    },
+    Profile {
+        name: "b03",
+        inputs: 4,
+        outputs: 4,
+        dffs: 30,
+        gates: 150,
+    },
+    Profile {
+        name: "b04",
+        inputs: 11,
+        outputs: 8,
+        dffs: 66,
+        gates: 600,
+    },
+    Profile {
+        name: "b05",
+        inputs: 1,
+        outputs: 36,
+        dffs: 34,
+        gates: 900,
+    },
+    Profile {
+        name: "b06",
+        inputs: 2,
+        outputs: 6,
+        dffs: 9,
+        gates: 55,
+    },
+    Profile {
+        name: "b07",
+        inputs: 1,
+        outputs: 8,
+        dffs: 49,
+        gates: 380,
+    },
+    Profile {
+        name: "b08",
+        inputs: 9,
+        outputs: 4,
+        dffs: 21,
+        gates: 160,
+    },
+    Profile {
+        name: "b09",
+        inputs: 1,
+        outputs: 1,
+        dffs: 28,
+        gates: 140,
+    },
+    Profile {
+        name: "b10",
+        inputs: 11,
+        outputs: 6,
+        dffs: 17,
+        gates: 170,
+    },
+    Profile {
+        name: "b11",
+        inputs: 7,
+        outputs: 6,
+        dffs: 31,
+        gates: 480,
+    },
+    Profile {
+        name: "b12",
+        inputs: 5,
+        outputs: 6,
+        dffs: 121,
+        gates: 950,
+    },
+    Profile {
+        name: "b13",
+        inputs: 10,
+        outputs: 10,
+        dffs: 53,
+        gates: 330,
+    },
+    Profile {
+        name: "b14",
+        inputs: 32,
+        outputs: 54,
+        dffs: 245,
+        gates: 4200,
+    },
+    Profile {
+        name: "b15",
+        inputs: 36,
+        outputs: 70,
+        dffs: 449,
+        gates: 4800,
+    },
+    Profile {
+        name: "b17",
+        inputs: 37,
+        outputs: 97,
+        dffs: 354,
+        gates: 5600,
+    },
+    Profile {
+        name: "b18",
+        inputs: 37,
+        outputs: 23,
+        dffs: 830,
+        gates: 6400,
+    },
+    Profile {
+        name: "b19",
+        inputs: 24,
+        outputs: 30,
+        dffs: 1200,
+        gates: 7200,
+    },
+    Profile {
+        name: "b20",
+        inputs: 32,
+        outputs: 22,
+        dffs: 490,
+        gates: 4900,
+    },
+    Profile {
+        name: "b21",
+        inputs: 32,
+        outputs: 22,
+        dffs: 490,
+        gates: 5000,
+    },
+    Profile {
+        name: "b22",
+        inputs: 32,
+        outputs: 22,
+        dffs: 735,
+        gates: 5200,
+    },
 ];
 
 /// Names of the ITC'99 circuits used in the paper's tables, in suite order.

@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn s27_simulates_from_reset() {
-        use cutelock_sim::{SequentialOracle, NetlistOracle};
+        use cutelock_sim::{NetlistOracle, SequentialOracle};
         let mut orc = NetlistOracle::new(s27()).unwrap();
         // From all-zero state with all-zero inputs: G12=NOR(0,0)=1,
         // G14=NOT(0)=1, G8=AND(1,0)=0, G15=OR(1,0)=1, G16=OR(0,0)=0,

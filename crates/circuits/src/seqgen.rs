@@ -51,7 +51,7 @@ pub fn generate(profile: &Profile, seed_salt: u64) -> Result<BenchmarkCircuit, N
     // Control register first (2..=4 bits), then data words until the FF
     // budget is used.
     let total_ffs = profile.dffs.max(2);
-    let ctrl_bits = 2 + (rng.gen_range(0..=2)).min(total_ffs.saturating_sub(2));
+    let ctrl_bits = 2 + (rng.gen_range(0..=2usize)).min(total_ffs.saturating_sub(2));
     let mut word_sizes = vec![ctrl_bits];
     let mut remaining = total_ffs - ctrl_bits;
     while remaining > 0 {
@@ -75,11 +75,10 @@ pub fn generate(profile: &Profile, seed_salt: u64) -> Result<BenchmarkCircuit, N
     }
 
     let mut gates = 0usize;
-    let count =
-        |nl: &mut Netlist, kind: GateKind, name: String, ins: &[NetId], g: &mut usize| {
-            *g += 1;
-            nl.add_gate(kind, name, ins)
-        };
+    let count = |nl: &mut Netlist, kind: GateKind, name: String, ins: &[NetId], g: &mut usize| {
+        *g += 1;
+        nl.add_gate(kind, name, ins)
+    };
 
     // ---- Control word: an LFSR-ish counter stirred by an input ----------
     let ctrl = &word_q[0];
@@ -293,7 +292,13 @@ pub fn generate(profile: &Profile, seed_salt: u64) -> Result<BenchmarkCircuit, N
                 &mut gates,
             )?;
         }
-        let y = count(&mut nl, GateKind::Buf, format!("out{o}"), &[acc], &mut gates)?;
+        let y = count(
+            &mut nl,
+            GateKind::Buf,
+            format!("out{o}"),
+            &[acc],
+            &mut gates,
+        )?;
         nl.mark_output(y)?;
     }
 

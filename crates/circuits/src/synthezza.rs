@@ -32,41 +32,239 @@ use SynthezzaSize::{Large, Medium, Small};
 
 const PROFILES: &[FsmProfile] = &[
     // Small group.
-    FsmProfile { name: "bcomp", size: Small, states: 10, inputs: 8, outputs: 39 },
-    FsmProfile { name: "bech", size: Small, states: 9, inputs: 6, outputs: 12 },
-    FsmProfile { name: "bridge", size: Small, states: 8, inputs: 5, outputs: 7 },
-    FsmProfile { name: "cat", size: Small, states: 6, inputs: 4, outputs: 5 },
-    FsmProfile { name: "checker9", size: Small, states: 9, inputs: 3, outputs: 4 },
-    FsmProfile { name: "cpu", size: Small, states: 12, inputs: 6, outputs: 8 },
-    FsmProfile { name: "dmac", size: Small, states: 5, inputs: 3, outputs: 4 },
-    FsmProfile { name: "e10", size: Small, states: 10, inputs: 3, outputs: 3 },
-    FsmProfile { name: "e15", size: Small, states: 15, inputs: 4, outputs: 4 },
-    FsmProfile { name: "e16", size: Small, states: 16, inputs: 4, outputs: 4 },
-    FsmProfile { name: "e161", size: Small, states: 16, inputs: 5, outputs: 5 },
-    FsmProfile { name: "e17", size: Small, states: 17, inputs: 3, outputs: 3 },
+    FsmProfile {
+        name: "bcomp",
+        size: Small,
+        states: 10,
+        inputs: 8,
+        outputs: 39,
+    },
+    FsmProfile {
+        name: "bech",
+        size: Small,
+        states: 9,
+        inputs: 6,
+        outputs: 12,
+    },
+    FsmProfile {
+        name: "bridge",
+        size: Small,
+        states: 8,
+        inputs: 5,
+        outputs: 7,
+    },
+    FsmProfile {
+        name: "cat",
+        size: Small,
+        states: 6,
+        inputs: 4,
+        outputs: 5,
+    },
+    FsmProfile {
+        name: "checker9",
+        size: Small,
+        states: 9,
+        inputs: 3,
+        outputs: 4,
+    },
+    FsmProfile {
+        name: "cpu",
+        size: Small,
+        states: 12,
+        inputs: 6,
+        outputs: 8,
+    },
+    FsmProfile {
+        name: "dmac",
+        size: Small,
+        states: 5,
+        inputs: 3,
+        outputs: 4,
+    },
+    FsmProfile {
+        name: "e10",
+        size: Small,
+        states: 10,
+        inputs: 3,
+        outputs: 3,
+    },
+    FsmProfile {
+        name: "e15",
+        size: Small,
+        states: 15,
+        inputs: 4,
+        outputs: 4,
+    },
+    FsmProfile {
+        name: "e16",
+        size: Small,
+        states: 16,
+        inputs: 4,
+        outputs: 4,
+    },
+    FsmProfile {
+        name: "e161",
+        size: Small,
+        states: 16,
+        inputs: 5,
+        outputs: 5,
+    },
+    FsmProfile {
+        name: "e17",
+        size: Small,
+        states: 17,
+        inputs: 3,
+        outputs: 3,
+    },
     // Medium group.
-    FsmProfile { name: "acdl", size: Medium, states: 22, inputs: 6, outputs: 8 },
-    FsmProfile { name: "alf", size: Medium, states: 26, inputs: 8, outputs: 10 },
-    FsmProfile { name: "amtz", size: Medium, states: 30, inputs: 8, outputs: 9 },
-    FsmProfile { name: "ball", size: Medium, states: 28, inputs: 10, outputs: 18 },
-    FsmProfile { name: "bens", size: Medium, states: 32, inputs: 7, outputs: 8 },
-    FsmProfile { name: "berg", size: Medium, states: 32, inputs: 7, outputs: 7 },
-    FsmProfile { name: "bib", size: Medium, states: 33, inputs: 7, outputs: 7 },
-    FsmProfile { name: "big", size: Medium, states: 24, inputs: 6, outputs: 7 },
-    FsmProfile { name: "bs", size: Medium, states: 25, inputs: 7, outputs: 6 },
-    FsmProfile { name: "codec", size: Medium, states: 20, inputs: 4, outputs: 12 },
-    FsmProfile { name: "codec1", size: Medium, states: 36, inputs: 9, outputs: 12 },
-    FsmProfile { name: "cow", size: Medium, states: 40, inputs: 10, outputs: 16 },
-    FsmProfile { name: "cyr", size: Medium, states: 34, inputs: 7, outputs: 8 },
-    FsmProfile { name: "dav", size: Medium, states: 24, inputs: 6, outputs: 6 },
-    FsmProfile { name: "doron", size: Medium, states: 35, inputs: 7, outputs: 9 },
+    FsmProfile {
+        name: "acdl",
+        size: Medium,
+        states: 22,
+        inputs: 6,
+        outputs: 8,
+    },
+    FsmProfile {
+        name: "alf",
+        size: Medium,
+        states: 26,
+        inputs: 8,
+        outputs: 10,
+    },
+    FsmProfile {
+        name: "amtz",
+        size: Medium,
+        states: 30,
+        inputs: 8,
+        outputs: 9,
+    },
+    FsmProfile {
+        name: "ball",
+        size: Medium,
+        states: 28,
+        inputs: 10,
+        outputs: 18,
+    },
+    FsmProfile {
+        name: "bens",
+        size: Medium,
+        states: 32,
+        inputs: 7,
+        outputs: 8,
+    },
+    FsmProfile {
+        name: "berg",
+        size: Medium,
+        states: 32,
+        inputs: 7,
+        outputs: 7,
+    },
+    FsmProfile {
+        name: "bib",
+        size: Medium,
+        states: 33,
+        inputs: 7,
+        outputs: 7,
+    },
+    FsmProfile {
+        name: "big",
+        size: Medium,
+        states: 24,
+        inputs: 6,
+        outputs: 7,
+    },
+    FsmProfile {
+        name: "bs",
+        size: Medium,
+        states: 25,
+        inputs: 7,
+        outputs: 6,
+    },
+    FsmProfile {
+        name: "codec",
+        size: Medium,
+        states: 20,
+        inputs: 4,
+        outputs: 12,
+    },
+    FsmProfile {
+        name: "codec1",
+        size: Medium,
+        states: 36,
+        inputs: 9,
+        outputs: 12,
+    },
+    FsmProfile {
+        name: "cow",
+        size: Medium,
+        states: 40,
+        inputs: 10,
+        outputs: 16,
+    },
+    FsmProfile {
+        name: "cyr",
+        size: Medium,
+        states: 34,
+        inputs: 7,
+        outputs: 8,
+    },
+    FsmProfile {
+        name: "dav",
+        size: Medium,
+        states: 24,
+        inputs: 6,
+        outputs: 6,
+    },
+    FsmProfile {
+        name: "doron",
+        size: Medium,
+        states: 35,
+        inputs: 7,
+        outputs: 9,
+    },
     // Large group.
-    FsmProfile { name: "absurd", size: Large, states: 120, inputs: 10, outputs: 20 },
-    FsmProfile { name: "bulln", size: Large, states: 110, inputs: 10, outputs: 18 },
-    FsmProfile { name: "camel", size: Large, states: 100, inputs: 10, outputs: 16 },
-    FsmProfile { name: "exxm", size: Large, states: 85, inputs: 9, outputs: 14 },
-    FsmProfile { name: "lion", size: Large, states: 95, inputs: 9, outputs: 15 },
-    FsmProfile { name: "tiger", size: Large, states: 90, inputs: 9, outputs: 14 },
+    FsmProfile {
+        name: "absurd",
+        size: Large,
+        states: 120,
+        inputs: 10,
+        outputs: 20,
+    },
+    FsmProfile {
+        name: "bulln",
+        size: Large,
+        states: 110,
+        inputs: 10,
+        outputs: 18,
+    },
+    FsmProfile {
+        name: "camel",
+        size: Large,
+        states: 100,
+        inputs: 10,
+        outputs: 16,
+    },
+    FsmProfile {
+        name: "exxm",
+        size: Large,
+        states: 85,
+        inputs: 9,
+        outputs: 14,
+    },
+    FsmProfile {
+        name: "lion",
+        size: Large,
+        states: 95,
+        inputs: 9,
+        outputs: 15,
+    },
+    FsmProfile {
+        name: "tiger",
+        size: Large,
+        states: 90,
+        inputs: 9,
+        outputs: 14,
+    },
 ];
 
 /// Names of the Synthezza benchmarks of a given size class, in Table III
@@ -74,7 +272,7 @@ const PROFILES: &[FsmProfile] = &[
 pub fn synthezza_names(size: Option<SynthezzaSize>) -> Vec<&'static str> {
     PROFILES
         .iter()
-        .filter(|p| size.map_or(true, |s| p.size == s))
+        .filter(|p| size.is_none_or(|s| p.size == s))
         .map(|p| p.name)
         .collect()
 }

@@ -3,7 +3,7 @@
 use std::fs;
 use std::time::Duration;
 
-use cutelock_attacks::appsat::{appsat_attack, AppSatConfig, double_dip_attack};
+use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
 use cutelock_attacks::bmc::{bbo_attack, int_attack};
 use cutelock_attacks::dana::{dana_attack, score_against_ground_truth};
 use cutelock_attacks::fall::fall_attack;
@@ -11,7 +11,7 @@ use cutelock_attacks::kc2::kc2_attack;
 use cutelock_attacks::rane::rane_attack;
 use cutelock_attacks::sat_attack::scan_sat_attack;
 use cutelock_attacks::AttackBudget;
-use cutelock_circuits::{iscas89, itc99, iscas89_names, itc99_names};
+use cutelock_circuits::{iscas89, iscas89_names, itc99, itc99_names};
 use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
@@ -133,12 +133,16 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
         })
         .lock(&nl)
         .map_err(|e| e.to_string())?,
-        "xor" => XorLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
+        "xor" => XorLock::new(ki, seed)
+            .lock(&nl)
+            .map_err(|e| e.to_string())?,
         "ttlock" => TtLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
         "dklock" => DkLock::new(ki, ki, seed)
             .lock(&nl)
             .map_err(|e| e.to_string())?,
-        "sled" => SledLock::new(ki, seed).lock(&nl).map_err(|e| e.to_string())?,
+        "sled" => SledLock::new(ki, seed)
+            .lock(&nl)
+            .map_err(|e| e.to_string())?,
         other => return Err(format!("unknown scheme `{other}`")),
     };
     if let Some(kpath) = args.opt("keys-out") {
@@ -236,8 +240,8 @@ fn cmd_overhead(argv: &[String]) -> Result<(), String> {
     let locked = read_netlist(args.req("locked")?)?;
     let lib = CellLibrary::default();
     let orig = analyze(&original, &lib, 300, 1).map_err(|e| e.to_string())?;
-    let cmp = OverheadComparison::between(&original, &locked, &lib, 300, 1)
-        .map_err(|e| e.to_string())?;
+    let cmp =
+        OverheadComparison::between(&original, &locked, &lib, 300, 1).map_err(|e| e.to_string())?;
     println!("original: {orig}");
     println!("locked:   {}", cmp.locked);
     println!(

@@ -151,15 +151,15 @@ impl CuteLockBeh {
 
         // Wrongful next-state vector.
         let sbits = syn.state_ffs.len();
-        let ns: Vec<NetId> = syn
-            .state_ffs
-            .iter()
-            .map(|&f| nl.dffs()[f].d())
-            .collect();
+        let ns: Vec<NetId> = syn.state_ffs.iter().map(|&f| nl.dffs()[f].d()).collect();
         let wrong_ns: Vec<NetId> = match policy {
             WrongfulPolicy::XorMask | WrongfulPolicy::Auto => {
                 // Per-time nonzero masks over the state bits.
-                let full = if sbits >= 64 { !0u64 } else { (1u64 << sbits) - 1 };
+                let full = if sbits >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << sbits) - 1
+                };
                 let masks: Vec<u64> = (0..cfg.keys)
                     .map(|_| loop {
                         let m = rng.gen::<u64>() & full;
@@ -169,13 +169,13 @@ impl CuteLockBeh {
                     })
                     .collect();
                 let mut out = Vec::with_capacity(sbits);
-                for j in 0..sbits {
+                for (j, &ns_j) in ns.iter().enumerate() {
                     let times: Vec<NetId> = (0..cfg.keys)
                         .filter(|&t| masks[t] >> j & 1 == 1)
                         .map(|t| counter.is_time[t])
                         .collect();
                     let mask_j = or_or_const(&mut nl, &format!("wmask{j}"), &times)?;
-                    out.push(nl.add_gate(GateKind::Xor, format!("wns{j}"), &[ns[j], mask_j])?);
+                    out.push(nl.add_gate(GateKind::Xor, format!("wns{j}"), &[ns_j, mask_j])?);
                 }
                 out
             }

@@ -91,7 +91,13 @@ pub fn insert_mod_counter(
     let mut is_time = Vec::with_capacity(k);
     for t in 0..k {
         let terms: Vec<NetId> = (0..bits)
-            .map(|j| if (t as u64) >> j & 1 == 1 { q[j] } else { q_n[j] })
+            .map(|j| {
+                if (t as u64) >> j & 1 == 1 {
+                    q[j]
+                } else {
+                    q_n[j]
+                }
+            })
             .collect();
         let dec = if terms.len() == 1 {
             nl.add_gate(GateKind::Buf, format!("{prefix}_is{t}"), &terms)?

@@ -164,10 +164,7 @@ impl LockedOracle {
     /// # Errors
     ///
     /// Propagates simulator construction failures.
-    pub fn with_constant_key(
-        locked: &LockedCircuit,
-        key: KeyValue,
-    ) -> Result<Self, NetlistError> {
+    pub fn with_constant_key(locked: &LockedCircuit, key: KeyValue) -> Result<Self, NetlistError> {
         Self::new(locked, KeyFeed::Constant(key))
     }
 

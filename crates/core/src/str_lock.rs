@@ -165,11 +165,7 @@ impl CuteLockStr {
         keys.iter().all(|key| {
             // A key is acceptable if it corrupts, or if it happens to be a
             // key that is *never* wrong (constant schedules only).
-            let always_right = locked
-                .schedule
-                .keys()
-                .iter()
-                .all(|sk| sk == key);
+            let always_right = locked.schedule.keys().iter().all(|sk| sk == key);
             always_right
                 || locked
                     .corruption_rate(key, cycles, 0x7a5e)
@@ -299,6 +295,9 @@ impl CuteLockStr {
             let correct = orig_d[f];
             // Per-time slot values (key layer).
             let mut slots: Vec<NetId> = Vec::with_capacity(cfg.keys);
+            // `match_t` is empty in FullTree mode, so iterating it instead of
+            // the time range would skip the loop entirely.
+            #[allow(clippy::needless_range_loop)]
             for t in 0..cfg.keys {
                 let slot = match style {
                     MuxTreeStyle::FullTree => {
@@ -315,12 +314,7 @@ impl CuteLockStr {
                                 }
                             })
                             .collect::<Result<_, _>>()?;
-                        build_key_mux_tree(
-                            &mut nl,
-                            &inputs,
-                            &key_nets,
-                            &format!("lk{li}_t{t}"),
-                        )?
+                        build_key_mux_tree(&mut nl, &inputs, &key_nets, &format!("lk{li}_t{t}"))?
                     }
                     MuxTreeStyle::Comparator | MuxTreeStyle::Auto => {
                         let wrong =
@@ -336,13 +330,8 @@ impl CuteLockStr {
                 slots.push(slot);
             }
             // Counter layers: binary tree over the time slots.
-            let root = build_counter_tree(
-                &mut nl,
-                &slots,
-                &counter.is_time,
-                0,
-                &format!("lk{li}_cnt"),
-            )?;
+            let root =
+                build_counter_tree(&mut nl, &slots, &counter.is_time, 0, &format!("lk{li}_cnt"))?;
             nl.set_dff_d(f, root)?;
         }
 
@@ -373,9 +362,7 @@ fn d_signatures(nl: &Netlist, seed: u64) -> Vec<u64> {
         sim.set_all_inputs(&words);
         sim.eval();
         for (i, ff) in nl.dffs().iter().enumerate() {
-            sig[i] = sig[i]
-                .wrapping_mul(0x0000_0100_0000_01b3)
-                ^ sim.value(ff.d());
+            sig[i] = sig[i].wrapping_mul(0x0000_0100_0000_01b3) ^ sim.value(ff.d());
         }
         sim.step();
     }
@@ -397,8 +384,8 @@ fn wrongful_cone(
             let distinct: Vec<usize> = (0..orig_d.len())
                 .filter(|&g| g != f && sig[g] != sig[f])
                 .collect();
-            if let Some(&g) = (!distinct.is_empty())
-                .then(|| &distinct[rng.gen_range(0..distinct.len())])
+            if let Some(&g) =
+                (!distinct.is_empty()).then(|| &distinct[rng.gen_range(0..distinct.len())])
             {
                 return Ok(orig_d[g]);
             }
@@ -486,8 +473,8 @@ fn build_counter_tree(
 mod tests {
     use super::*;
     use crate::KeyValue;
-    use cutelock_circuits::s27::s27;
     use cutelock_circuits::itc99;
+    use cutelock_circuits::s27::s27;
 
     fn paper_schedule() -> KeySchedule {
         // Table II: s27 locked with keys 1, 3, 2, 0 (2-bit each).

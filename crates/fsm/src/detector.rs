@@ -81,10 +81,7 @@ mod tests {
     fn detect(pattern: &str, stream: &str) -> Vec<bool> {
         let stg = sequence_detector(pattern);
         let mut sim = StgSimulator::new(&stg);
-        stream
-            .chars()
-            .map(|c| sim.step(&[c == '1'])[0])
-            .collect()
+        stream.chars().map(|c| sim.step(&[c == '1'])[0]).collect()
     }
 
     /// Naive reference: does the pattern end at position i of the stream?

@@ -66,31 +66,43 @@ pub fn random_fsm(name: impl Into<String>, config: &RandomFsmConfig) -> Stg {
         .map(|i| stg.add_state(format!("S{i}")))
         .collect();
 
-    // Spanning tree: state i (> 0) is pinned as a destination of some state
-    // < i, so every state is reachable from S0 (the reset state).
+    // Decision trees first: the number of leaves per state bounds how many
+    // spanning-tree children the state can absorb as destinations.
+    let depth_cap = config.max_depth.min(config.num_inputs);
+    let state_leaves: Vec<Vec<Cube>> = (0..config.num_states)
+        .map(|_| {
+            let mut leaves = Vec::new();
+            split(
+                &mut rng,
+                Cube::any(config.num_inputs),
+                &mut Vec::new(),
+                depth_cap,
+                &mut leaves,
+            );
+            leaves
+        })
+        .collect();
+
+    // Spanning arborescence: state i (> 0) is pinned as a destination of some
+    // state < i with a spare leaf, so every state is reachable from S0 (the
+    // reset state). A spare leaf always exists: states 0..i hold at least i
+    // leaves in total and only i-1 are pinned so far.
     let mut pinned: Vec<Vec<usize>> = vec![Vec::new(); config.num_states];
     for i in 1..config.num_states {
-        let parent = rng.gen_range(0..i);
+        let open: Vec<usize> = (0..i)
+            .filter(|&j| pinned[j].len() < state_leaves[j].len())
+            .collect();
+        let parent = open[rng.gen_range(0..open.len())];
         pinned[parent].push(i);
     }
 
-    let depth_cap = config.max_depth.min(config.num_inputs);
     for (s, &st) in states.iter().enumerate() {
-        // Random decision tree: recursively split the full cube.
-        let mut leaves: Vec<Cube> = Vec::new();
-        split(
-            &mut rng,
-            Cube::any(config.num_inputs),
-            &mut Vec::new(),
-            depth_cap,
-            &mut leaves,
-        );
+        let leaves = state_leaves[s].clone();
         // Assign pinned destinations first, then random ones.
         let mut dests: Vec<usize> = pinned[s].clone();
         while dests.len() < leaves.len() {
             dests.push(rng.gen_range(0..config.num_states));
         }
-        dests.truncate(leaves.len());
         // Shuffle destinations over leaves.
         for i in (1..dests.len()).rev() {
             dests.swap(i, rng.gen_range(0..=i));
@@ -190,7 +202,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "unreachable state with seed {seed}");
+            assert!(
+                seen.iter().all(|&s| s),
+                "unreachable state with seed {seed}"
+            );
         }
     }
 

@@ -82,15 +82,27 @@ impl fmt::Display for FsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownState(s) => write!(f, "unknown state S{s}"),
-            Self::CubeWidthMismatch { state, got, expected } => write!(
+            Self::CubeWidthMismatch {
+                state,
+                got,
+                expected,
+            } => write!(
                 f,
                 "state S{state}: cube width {got} does not match {expected} inputs"
             ),
-            Self::OutputWidthMismatch { state, got, expected } => write!(
+            Self::OutputWidthMismatch {
+                state,
+                got,
+                expected,
+            } => write!(
                 f,
                 "state S{state}: output width {got} does not match {expected} outputs"
             ),
-            Self::Overlap { state, first, second } => write!(
+            Self::Overlap {
+                state,
+                first,
+                second,
+            } => write!(
                 f,
                 "state S{state}: transitions {first} and {second} overlap"
             ),
@@ -290,7 +302,10 @@ impl Stg {
 
     /// Number of state bits needed for binary encoding.
     pub fn state_bits(&self) -> usize {
-        usize::max(1, (usize::BITS - (self.num_states() - 1).leading_zeros()) as usize)
+        usize::max(
+            1,
+            (usize::BITS - (self.num_states() - 1).leading_zeros()) as usize,
+        )
     }
 }
 

@@ -147,11 +147,7 @@ pub(crate) fn add_and(
 }
 
 /// OR over `terms`, degenerating to BUF / CONST0 for small arities.
-pub(crate) fn add_or(
-    nl: &mut Netlist,
-    name: &str,
-    terms: &[NetId],
-) -> Result<NetId, NetlistError> {
+pub(crate) fn add_or(nl: &mut Netlist, name: &str, terms: &[NetId]) -> Result<NetId, NetlistError> {
     let name = nl.fresh_name(name);
     match terms.len() {
         0 => nl.add_gate(GateKind::Const0, name, &[]),

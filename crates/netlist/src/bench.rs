@@ -272,7 +272,8 @@ pub fn structurally_equal(a: &Netlist, b: &Netlist) -> bool {
     fn names(nl: &Netlist, ids: &[NetId]) -> Vec<String> {
         ids.iter().map(|&i| nl.net_name(i).to_string()).collect()
     }
-    if names(a, a.inputs()) != names(b, b.inputs()) || names(a, a.outputs()) != names(b, b.outputs())
+    if names(a, a.inputs()) != names(b, b.inputs())
+        || names(a, a.outputs()) != names(b, b.outputs())
     {
         return false;
     }

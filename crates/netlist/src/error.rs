@@ -44,7 +44,11 @@ impl fmt::Display for NetlistError {
             Self::InvalidNetId(i) => write!(f, "invalid net id {i}"),
             Self::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
             Self::Undriven(n) => write!(f, "net `{n}` is undriven"),
-            Self::BadArity { kind, expected, got } => {
+            Self::BadArity {
+                kind,
+                expected,
+                got,
+            } => {
                 write!(f, "gate kind {kind} expects {expected} input(s), got {got}")
             }
             Self::CombinationalCycle(n) => {

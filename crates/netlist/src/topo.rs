@@ -39,7 +39,9 @@ pub fn gate_order(nl: &Netlist) -> Result<Vec<usize>, NetlistError> {
     }
     if order.len() != n {
         // Identify one net on a cycle for the error message.
-        let g = (0..n).find(|&g| indegree[g] > 0).expect("cycle gate exists");
+        let g = (0..n)
+            .find(|&g| indegree[g] > 0)
+            .expect("cycle gate exists");
         let net = nl.gates()[g].output();
         return Err(NetlistError::CombinationalCycle(
             nl.net_name(net).to_string(),

@@ -73,7 +73,7 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
             }
             GateKind::And | GateKind::Nand => {
                 let inv = gate.kind() == GateKind::Nand;
-                if vals.iter().any(|v| *v == Some(false)) {
+                if vals.contains(&Some(false)) {
                     constant[out] = Some(inv);
                     folded += 1;
                 } else if vals.iter().all(|v| *v == Some(true)) {
@@ -83,7 +83,7 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
             }
             GateKind::Or | GateKind::Nor => {
                 let inv = gate.kind() == GateKind::Nor;
-                if vals.iter().any(|v| *v == Some(true)) {
+                if vals.contains(&Some(true)) {
                     constant[out] = Some(!inv);
                     folded += 1;
                 } else if vals.iter().all(|v| *v == Some(false)) {
@@ -93,11 +93,12 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
             }
             GateKind::Xor | GateKind::Xnor => {
                 if vals.iter().all(Option::is_some) {
-                    let parity = vals
-                        .iter()
-                        .fold(false, |acc, v| acc ^ v.unwrap_or(false));
-                    constant[out] =
-                        Some(if gate.kind() == GateKind::Xor { parity } else { !parity });
+                    let parity = vals.iter().fold(false, |acc, v| acc ^ v.unwrap_or(false));
+                    constant[out] = Some(if gate.kind() == GateKind::Xor {
+                        parity
+                    } else {
+                        !parity
+                    });
                     folded += 1;
                 }
             }
@@ -188,7 +189,11 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
             if let Some(n) = const_nets[slot] {
                 return Ok(n);
             }
-            let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+            let kind = if v {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
             let name = out.fresh_name(if v { "const1" } else { "const0" });
             let n = out.add_gate(kind, name, &[])?;
             const_nets[slot] = Some(n);
@@ -244,7 +249,10 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
                 // the remaining constants are identity operands.
                 let inv = matches!(kind, GateKind::Nand | GateKind::Nor);
                 if free.len() == 1 {
-                    Some((if inv { GateKind::Not } else { GateKind::Buf }, free.clone()))
+                    Some((
+                        if inv { GateKind::Not } else { GateKind::Buf },
+                        free.clone(),
+                    ))
                 } else {
                     let base = match kind {
                         GateKind::And | GateKind::Nand => {
@@ -305,15 +313,30 @@ pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
         };
         map.insert(gate.output(), id);
     }
-    for (i, ff) in nl.dffs().iter().enumerate() {
-        let d = fetch(&mut out, nl, ff.d(), &constant, &forward, &mut map, &mut const_nets)?;
+    for ff in nl.dffs() {
+        let d = fetch(
+            &mut out,
+            nl,
+            ff.d(),
+            &constant,
+            &forward,
+            &mut map,
+            &mut const_nets,
+        )?;
         let q = map[&ff.q()];
         let idx = out.add_dff(ff.name().to_string(), d, q)?;
         out.set_dff_init(idx, ff.init());
-        let _ = i;
     }
     for &o in nl.outputs() {
-        let id = fetch(&mut out, nl, o, &constant, &forward, &mut map, &mut const_nets)?;
+        let id = fetch(
+            &mut out,
+            nl,
+            o,
+            &constant,
+            &forward,
+            &mut map,
+            &mut const_nets,
+        )?;
         out.mark_output(id)?;
     }
     out.validate()?;
@@ -345,8 +368,7 @@ mod tests {
                 vals[nl.inputs()[0].index()] = a;
                 for g in order {
                     let gate = &nl.gates()[g];
-                    let ins: Vec<bool> =
-                        gate.inputs().iter().map(|&i| vals[i.index()]).collect();
+                    let ins: Vec<bool> = gate.inputs().iter().map(|&i| vals[i.index()]).collect();
                     vals[gate.output().index()] = gate.kind().eval(&ins);
                 }
                 vals[nl.outputs()[0].index()]
@@ -414,7 +436,7 @@ mod tests {
 
     #[test]
     fn sequential_behavior_preserved_after_cleanup() {
-        use crate::unroll::{scan_view};
+        use crate::unroll::scan_view;
         // A locked-looking netlist with constants in the cone.
         let nl = bench::parse(
             "t",
@@ -437,8 +459,7 @@ mod tests {
                 }
                 for g in order {
                     let gate = &nl.gates()[g];
-                    let ins: Vec<bool> =
-                        gate.inputs().iter().map(|&i| vals[i.index()]).collect();
+                    let ins: Vec<bool> = gate.inputs().iter().map(|&i| vals[i.index()]).collect();
                     vals[gate.output().index()] = gate.kind().eval(&ins);
                 }
                 nl.outputs()

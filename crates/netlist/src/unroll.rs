@@ -221,11 +221,7 @@ pub fn scan_view(nl: &Netlist) -> Result<ScanView, NetlistError> {
     for &g in &crate::topo::gate_order(nl)? {
         let gate = &nl.gates()[g];
         let ins: Vec<NetId> = gate.inputs().iter().map(|&i| map[&i]).collect();
-        let id = out.add_gate(
-            gate.kind(),
-            nl.net_name(gate.output()).to_string(),
-            &ins,
-        )?;
+        let id = out.add_gate(gate.kind(), nl.net_name(gate.output()).to_string(), &ins)?;
         map.insert(gate.output(), id);
     }
     for &o in nl.outputs() {

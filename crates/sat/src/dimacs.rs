@@ -95,13 +95,10 @@ pub fn parse(src: &str) -> Result<Cnf, DimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            cnf.num_vars = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or(DimacsError {
-                    line: lineno,
-                    message: "bad variable count".into(),
-                })?;
+            cnf.num_vars = it.next().and_then(|t| t.parse().ok()).ok_or(DimacsError {
+                line: lineno,
+                message: "bad variable count".into(),
+            })?;
             header_seen = true;
             continue;
         }

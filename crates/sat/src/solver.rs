@@ -140,7 +140,11 @@ impl Solver {
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
         s.learnts = self.num_learnts;
-        s.clauses = self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count();
+        s.clauses = self
+            .clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count();
         s
     }
 
@@ -257,9 +261,7 @@ impl Solver {
 
     /// After [`SatResult::Sat`], extracts the full model as a bool per var.
     pub fn model(&self) -> Vec<bool> {
-        (0..self.num_vars())
-            .map(|i| self.assigns[i] == 1)
-            .collect()
+        (0..self.num_vars()).map(|i| self.assigns[i] == 1).collect()
     }
 
     /// Returns to decision level 0 (dropping any model), making the solver
@@ -274,12 +276,7 @@ impl Solver {
 
     /// Runs CDCL until SAT/UNSAT, the per-restart conflict `limit`, the
     /// global budget, or the deadline. `None` means "restart".
-    fn search(
-        &mut self,
-        assumptions: &[Lit],
-        limit: u64,
-        budget_start: u64,
-    ) -> Option<SatResult> {
+    fn search(&mut self, assumptions: &[Lit], limit: u64, budget_start: u64) -> Option<SatResult> {
         let mut conflicts_here = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
@@ -817,15 +814,16 @@ mod tests {
             }
         }
         // Every pigeon is in some hole.
-        for p in 0..pigeons {
-            let cl: Vec<Lit> = (0..holes).map(|h| Lit::positive(var[p][h])).collect();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
             s.add_clause(&cl);
         }
         // No two pigeons share a hole.
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[Lit::negative(var[p1][h]), Lit::negative(var[p2][h])]);
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_clause(&[l1, l2]);
                 }
             }
         }
@@ -906,14 +904,15 @@ mod tests {
                 *h = s.new_var();
             }
         }
-        for p in 0..pigeons {
-            let cl: Vec<Lit> = (0..holes).map(|h| Lit::positive(var[p][h])).collect();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
             s.add_clause(&cl);
         }
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[Lit::negative(var[p1][h]), Lit::negative(var[p2][h])]);
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_clause(&[l1, l2]);
                 }
             }
         }
@@ -999,14 +998,20 @@ mod tests {
             }
             let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
             let (r, s, vars) = solve_clauses(n, &refs);
-            let expect = if any { SatResult::Sat } else { SatResult::Unsat };
+            let expect = if any {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            };
             assert_eq!(r, expect, "round {round}: {clauses:?}");
             if r == SatResult::Sat {
                 // Verify the model actually satisfies the clauses.
                 for c in &clauses {
                     assert!(
                         c.iter().any(|&l| {
-                            let val = s.value(vars[l.unsigned_abs() as usize - 1]).unwrap_or(false);
+                            let val = s
+                                .value(vars[l.unsigned_abs() as usize - 1])
+                                .unwrap_or(false);
                             if l > 0 {
                                 val
                             } else {

@@ -226,7 +226,10 @@ mod tests {
             for (i, &inp) in nl.inputs().iter().enumerate() {
                 let bit = pattern >> i & 1 == 1;
                 inputs.push(bit);
-                assumptions.push(Lit::new(cnf.lit(inp).var(), bit == cnf.lit(inp).is_positive()));
+                assumptions.push(Lit::new(
+                    cnf.lit(inp).var(),
+                    bit == cnf.lit(inp).is_positive(),
+                ));
             }
             assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Sat);
             // Reference: netlist evaluation.

@@ -96,11 +96,7 @@ mod tests {
 
     #[test]
     fn constant_nets_never_toggle() {
-        let nl = bench::parse(
-            "c",
-            "INPUT(a)\nOUTPUT(y)\nz = CONST1()\ny = AND(a, z)\n",
-        )
-        .unwrap();
+        let nl = bench::parse("c", "INPUT(a)\nOUTPUT(y)\nz = CONST1()\ny = AND(a, z)\n").unwrap();
         let rep = switching_activity(&nl, 100, 7).unwrap();
         let z = nl.find_net("z").unwrap();
         assert_eq!(rep.toggle_rate[z.index()], 0.0);

@@ -31,8 +31,9 @@ pub fn tech_map(nl: &Netlist) -> TechMapped {
     for gate in nl.gates() {
         let n = gate.inputs().len();
         let count = match gate.kind() {
-            GateKind::Not | GateKind::Buf | GateKind::Mux | GateKind::Const0
-            | GateKind::Const1 => 1,
+            GateKind::Not | GateKind::Buf | GateKind::Mux | GateKind::Const0 | GateKind::Const1 => {
+                1
+            }
             _ => n.saturating_sub(1).max(1),
         };
         *cells.entry(gate.kind()).or_insert(0) += count;
@@ -104,8 +105,9 @@ pub fn analyze(
         // n-ary gates decompose into n-1 cells; attribute the same output
         // activity to each (a pessimistic but consistent estimate).
         let n = match gate.kind() {
-            GateKind::Not | GateKind::Buf | GateKind::Mux | GateKind::Const0
-            | GateKind::Const1 => 1,
+            GateKind::Not | GateKind::Buf | GateKind::Mux | GateKind::Const0 | GateKind::Const1 => {
+                1
+            }
             _ => gate.inputs().len().saturating_sub(1).max(1),
         };
         dynamic_w += rate * cell.energy_fj * 1e-15 * f_hz * n as f64;
@@ -233,9 +235,7 @@ mod tests {
         let mut locked = orig.clone();
         let a = locked.find_net("a").unwrap();
         let k = locked.add_key_input(0).unwrap();
-        let g = locked
-            .add_gate(GateKind::Xor, "kx", &[a, k])
-            .unwrap();
+        let g = locked.add_gate(GateKind::Xor, "kx", &[a, k]).unwrap();
         locked.mark_output(g).unwrap();
         let cmp =
             OverheadComparison::between(&orig, &locked, &CellLibrary::default(), 100, 3).unwrap();
@@ -265,8 +265,7 @@ mod tests {
             })
             .lock(&c.netlist)
             .unwrap();
-            let cmp =
-                OverheadComparison::between(&c.netlist, &lc.netlist, &lib, 100, 5).unwrap();
+            let cmp = OverheadComparison::between(&c.netlist, &lc.netlist, &lib, 100, 5).unwrap();
             pcts.push(cmp.area_pct());
         }
         assert!(

@@ -68,13 +68,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ra
     };
 
-    let r1 = run("SAT (scan access)", &|l| scan_sat_attack(l, &budget), &cute, &single, &xor);
-    let r2 = run("BMC / BBO", &|l| bbo_attack(l, &budget), &cute, &single, &xor);
-    let r3 = run("BMC / INT", &|l| int_attack(l, &budget), &cute, &single, &xor);
+    let r1 = run(
+        "SAT (scan access)",
+        &|l| scan_sat_attack(l, &budget),
+        &cute,
+        &single,
+        &xor,
+    );
+    let r2 = run(
+        "BMC / BBO",
+        &|l| bbo_attack(l, &budget),
+        &cute,
+        &single,
+        &xor,
+    );
+    let r3 = run(
+        "BMC / INT",
+        &|l| int_attack(l, &budget),
+        &cute,
+        &single,
+        &xor,
+    );
     let r4 = run("KC2", &|l| kc2_attack(l, &budget), &cute, &single, &xor);
-    let r5 = run("RANE (secret init)", &|l| rane_attack(l, &budget), &cute, &single, &xor);
+    let r5 = run(
+        "RANE (secret init)",
+        &|l| rane_attack(l, &budget),
+        &cute,
+        &single,
+        &xor,
+    );
     for r in [&r1, &r2, &r3, &r4, &r5] {
-        assert!(r.outcome.defense_held(), "Cute-Lock must hold: {}", r.outcome);
+        assert!(
+            r.outcome.defense_held(),
+            "Cute-Lock must hold: {}",
+            r.outcome
+        );
     }
 
     // Removal/dataflow attacks on the multi-key lock.

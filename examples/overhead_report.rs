@@ -9,8 +9,8 @@
 //! cargo run --release --example overhead_report
 //! ```
 
-use cute_lock::prelude::*;
 use cute_lock::locking::str_lock::WrongfulSource;
+use cute_lock::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = itc99("b11")?;

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ... and any constant key corrupts it.
     let wrong = KeyValue::from_u64(2, 2);
     let rate = locked.corruption_rate(&wrong, 1000, 43)?;
-    println!("output corruption under constant wrong key: {:.1}%", rate * 100.0);
+    println!(
+        "output corruption under constant wrong key: {:.1}%",
+        rate * 100.0
+    );
 
     // 4. Attack it with the incremental oracle-guided unrolling attack
     //    (NEOS "INT" mode). The constant-key model dead-ends.

@@ -136,7 +136,9 @@ fn sled_baseline_resists_constant_key_but_depends_on_seed() {
 #[test]
 fn dk_lock_pipeline_round_trips() {
     let circuit = itc99("b03").expect("exists");
-    let locked = DkLock::new(10, 10, 3).lock(&circuit.netlist).expect("locks");
+    let locked = DkLock::new(10, 10, 3)
+        .lock(&circuit.netlist)
+        .expect("locks");
     assert!(locked.verify_equivalence(200, 1).expect("simulates"));
     // DK-Lock's key is constant, so oracle-guided attacks succeed — the
     // vulnerability the paper cites ([31]) manifests as key recovery here.

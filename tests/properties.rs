@@ -5,10 +5,10 @@
 
 use std::collections::HashMap;
 
-use cute_lock::prelude::*;
 use cute_lock::circuits::seqgen;
 use cute_lock::circuits::Profile;
 use cute_lock::netlist::unroll::{scan_view, unroll, InitState, KeySharing};
+use cute_lock::prelude::*;
 use cute_lock::sat::{tseitin, SatResult, Solver};
 use cute_lock::sim::ParallelSim;
 use proptest::prelude::*;
