@@ -182,27 +182,13 @@ impl<'a> ScanModel<'a> {
         }
     }
 
-    /// Estimated error rate of candidate `key` over random scan queries.
+    /// Estimated error rate of candidate `key` over random stimulus,
+    /// via the 64-lane batched miter: `queries` cycles × 64 lanes of
+    /// samples per call instead of one scalar sequence.
     fn estimate_error(&mut self, key: &KeyValue, queries: usize, rng: &mut StdRng) -> f64 {
-        use cutelock_core::LockedOracle;
-        use cutelock_sim::SequentialOracle;
-        let Ok(mut lo) = LockedOracle::with_constant_key(self.locked, key.clone()) else {
-            return 1.0;
-        };
-        let Ok(mut orig) = NetlistOracle::new(self.locked.original.clone()) else {
-            return 1.0;
-        };
-        lo.reset();
-        orig.reset();
-        let n = self.locked.original.input_count();
-        let mut bad = 0usize;
-        for _ in 0..queries {
-            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-            if lo.step(&inputs) != orig.step(&inputs) {
-                bad += 1;
-            }
-        }
-        bad as f64 / queries.max(1) as f64
+        self.locked
+            .wide_corruption_rate(key, queries, rng.next_u64())
+            .unwrap_or(1.0)
     }
 }
 

@@ -21,6 +21,25 @@
 //! Every oracle-guided attack reports an [`AttackOutcome`] matching the
 //! paper's table legend: key found (green), wrong key (`x..x`), `CNS`
 //! ("condition not solvable"), `FAIL`, or timeout (`N/A`).
+//!
+//! # Example
+//!
+//! The oracle-less FALL attack breaks TTLock but finds nothing on
+//! Cute-Lock (the paper's Table V contrast):
+//!
+//! ```
+//! use cutelock_attacks::fall::fall_attack;
+//! use cutelock_attacks::AttackOutcome;
+//! use cutelock_circuits::s27::s27;
+//! use cutelock_core::baselines::TtLock;
+//!
+//! # fn main() -> Result<(), cutelock_core::LockError> {
+//! let locked = TtLock::new(4, 3).lock(&s27())?;
+//! let report = fall_attack(&locked);
+//! assert!(matches!(report.outcome, AttackOutcome::KeyFound(_)));
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,104 @@
+//! Multi-core sweep benchmarks: the same 64-lane workload dispatched on a
+//! 1-thread pool (the old single-core behavior) versus wider pools, via the
+//! criterion shim's group-comparison support.
+//!
+//! Each group's first entry is the single-threaded baseline; `finish()`
+//! prints every other entry's measured speedup against it. On a multi-core
+//! host the `threads/N` entries beat `threads/1`; on a single hardware
+//! thread they tie (the pool degrades to the baseline, never below it by
+//! more than scheduling noise). Output is bit-identical either way — the
+//! benches assert it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cutelock_circuits::itc99;
+use cutelock_sim::activity::switching_activity_par;
+use cutelock_sim::pool::Pool;
+use cutelock_sim::sweep;
+
+/// Thread counts to compare: 1 (baseline), then powers of two up to the
+/// machine width (always including the machine width itself).
+fn thread_ladder() -> Vec<usize> {
+    let max = Pool::auto().threads();
+    let mut ladder = vec![1];
+    let mut t = 2;
+    while t < max {
+        ladder.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        ladder.push(max);
+    }
+    ladder
+}
+
+/// Deterministic stimulus: `batches` independent sequences of `cycles`
+/// cycles of input words for `inputs` primary inputs.
+fn stimulus(batches: usize, cycles: usize, inputs: usize) -> Vec<Vec<Vec<u64>>> {
+    (0..batches as u64)
+        .map(|b| {
+            (0..cycles as u64)
+                .map(|c| {
+                    (0..inputs as u64)
+                        .map(|i| {
+                            (b ^ c.rotate_left(17) ^ i.rotate_left(40))
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let circuit = itc99("b12").expect("exists");
+    let nl = &circuit.netlist;
+    let batches = stimulus(32, 50, nl.input_count());
+    let baseline = sweep(nl, &Pool::sequential(), &batches).expect("compiles");
+
+    let mut group = c.benchmark_group("sweep_b12_32x50cy");
+    // 32 batches × 50 cycles × 64 lanes.
+    group.throughput(Throughput::Elements(32 * 50 * 64));
+    for threads in thread_ladder() {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| sweep(nl, pool, &batches).expect("compiles"))
+        });
+        // Determinism: every thread count reproduces the 1-thread result.
+        assert_eq!(
+            sweep(nl, &pool, &batches).expect("compiles"),
+            baseline,
+            "sweep must be bit-identical at {threads} threads"
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_activity(c: &mut Criterion) {
+    let circuit = itc99("b12").expect("exists");
+    let nl = &circuit.netlist;
+    let cycles = 2048; // 8 chunks of 256 cycles to steal.
+    let baseline = switching_activity_par(nl, cycles, 7, &Pool::sequential()).expect("works");
+
+    let mut group = c.benchmark_group("activity_b12_2048cy");
+    group.throughput(Throughput::Elements(cycles as u64 * 64));
+    for threads in thread_ladder() {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &pool, |b, pool| {
+            b.iter(|| switching_activity_par(nl, cycles, 7, pool).expect("works"))
+        });
+        let report = switching_activity_par(nl, cycles, 7, &pool).expect("works");
+        assert_eq!(
+            report.toggle_rate, baseline.toggle_rate,
+            "activity must be bit-identical at {threads} threads"
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_parallel_sweep, bench_parallel_activity
+}
+criterion_main!(benches);

@@ -12,7 +12,21 @@
 //! | `fig4`   | Fig. 4         | Overhead vs. DK-Lock on ITC'99 |
 //!
 //! Every binary accepts `--quick` (subset of circuits, smaller budgets) and
-//! prints machine-grep-friendly rows.
+//! prints machine-grep-friendly rows. See `crates/bench/README.md` for
+//! per-binary invocations and expected runtimes.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_bench::{params, Options};
+//!
+//! let argv = ["table4", "--quick", "--only", "b10"].map(String::from);
+//! let opt = Options::parse(argv.into_iter(), "usage");
+//! assert!(opt.quick && opt.selected("b10") && !opt.selected("b12"));
+//! // --quick caps the attack budget so a smoke run stays bounded.
+//! assert!(opt.budget().timeout.as_secs() <= 10);
+//! assert!(params::in_quick_set("b10"));
+//! ```
 
 #![warn(missing_docs)]
 

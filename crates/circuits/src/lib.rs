@@ -14,6 +14,21 @@
 //! shared control — the RTL structure the DANA dataflow attack recovers —
 //! and the ground-truth word grouping is reported alongside the netlist so
 //! NMI can be computed exactly as in the paper. See `DESIGN.md` §4.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_circuits::{itc99, itc99_names};
+//!
+//! # fn main() -> Result<(), cutelock_netlist::NetlistError> {
+//! assert!(itc99_names().contains(&"b01"));
+//! let circuit = itc99("b01")?;
+//! // A sequential netlist with DANA ground truth attached.
+//! assert!(circuit.netlist.dff_count() > 0);
+//! assert_eq!(circuit.word_labels().len(), circuit.netlist.dff_count());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

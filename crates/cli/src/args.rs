@@ -52,9 +52,7 @@ impl Args {
         }
     }
 
-    /// Whether a boolean flag was given. No subcommand takes a boolean flag
-    /// yet, so outside tests this is spare API surface.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Whether a boolean flag was given (e.g. `attack --quick`).
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }

@@ -37,7 +37,9 @@ COMMANDS:
               [--keys-out FILE]   (writes the key schedule)
   attack    Run an attack against a locked netlist
               --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana
-              --locked FILE --oracle FILE [--timeout SECS]
+              --locked FILE --oracle FILE [--timeout SECS] [--quick]
+              (--quick caps the budget for a smoke run; without
+               --locked/--oracle it locks a built-in s27 and attacks that)
   overhead  45nm-model overhead of locked vs original
               --original FILE --locked FILE
   convert   Convert formats
@@ -45,6 +47,8 @@ COMMANDS:
   help      Show this message
 ";
 
+/// Runs the subcommand named by `argv[0]` (printing help when absent),
+/// returning a user-facing error message on failure.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
         println!("{HELP}");
@@ -168,29 +172,62 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_attack(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let locked_nl = read_netlist(args.req("locked")?)?;
-    let oracle = read_netlist(args.req("oracle")?)?;
-    let timeout: u64 = args.num("timeout", 60)?;
-    let ki = locked_nl.key_inputs().len();
-    if ki == 0 {
-        return Err("locked netlist has no keyinput* ports".into());
-    }
-    // The attacker does not know the schedule; the placeholder below is
-    // only carried for bookkeeping and never read by the attacks.
-    let locked = LockedCircuit {
-        netlist: locked_nl,
-        original: oracle,
-        schedule: KeySchedule::constant(KeyValue::from_u64(0, ki.min(64)), 1),
-        scheme: "external",
-        counter_ffs: Vec::new(),
-        locked_ffs: Vec::new(),
+    let args = Args::parse(argv, &["quick"])?;
+    let quick = args.has("quick");
+    // The built-in smoke target only stands in when *neither* netlist was
+    // given; with one of the two present, the normal path reports the
+    // missing flag instead of silently attacking the wrong circuit.
+    let locked = if quick && args.opt("locked").is_none() && args.opt("oracle").is_none() {
+        // Bounded smoke configuration: lock the built-in s27 and attack it,
+        // so `cutelock attack --quick` works with no files at all.
+        eprintln!("--quick without --locked: attacking a built-in Cute-Lock-Str s27");
+        CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 0x5327,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&cutelock_circuits::s27::s27())
+        .map_err(|e| e.to_string())?
+    } else {
+        let locked_nl = read_netlist(args.req("locked")?)?;
+        let oracle = read_netlist(args.req("oracle")?)?;
+        let ki = locked_nl.key_inputs().len();
+        if ki == 0 {
+            return Err("locked netlist has no keyinput* ports".into());
+        }
+        // The attacker does not know the schedule; the placeholder below is
+        // only carried for bookkeeping and never read by the attacks.
+        LockedCircuit {
+            netlist: locked_nl,
+            original: oracle,
+            schedule: KeySchedule::constant(KeyValue::from_u64(0, ki.min(64)), 1),
+            scheme: "external",
+            counter_ffs: Vec::new(),
+            locked_ffs: Vec::new(),
+        }
     };
-    let budget = AttackBudget {
-        timeout: Duration::from_secs(timeout),
-        ..AttackBudget::default()
+    let timeout: u64 = args.num("timeout", if quick { 10 } else { 60 })?;
+    let budget = if quick {
+        AttackBudget {
+            timeout: Duration::from_secs(timeout.min(10)),
+            max_bound: 4,
+            max_iterations: 48,
+            conflict_budget: Some(200_000),
+        }
+    } else {
+        AttackBudget {
+            timeout: Duration::from_secs(timeout),
+            ..AttackBudget::default()
+        }
     };
-    let mode = args.req("mode")?;
+    let mode = match args.opt("mode") {
+        Some(m) => m,
+        None if quick => "sat",
+        None => return Err("missing required flag --mode".into()),
+    };
     match mode {
         "fall" => {
             let r = fall_attack(&locked);
@@ -264,4 +301,36 @@ fn cmd_convert(argv: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown target format `{other}`")),
     };
     write_out(args.opt("out"), &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn attack_quick_runs_standalone_smoke() {
+        // `cutelock attack --quick` needs no files and a bounded budget.
+        dispatch(&sv(&["attack", "--quick"])).unwrap();
+    }
+
+    #[test]
+    fn attack_without_mode_or_quick_is_an_error() {
+        let err = dispatch(&sv(&["attack"])).unwrap_err();
+        assert!(err.contains("--locked"), "got: {err}");
+    }
+
+    #[test]
+    fn quick_with_only_an_oracle_does_not_attack_the_builtin() {
+        let err = dispatch(&sv(&["attack", "--quick", "--oracle", "/no/such.bench"])).unwrap_err();
+        assert!(err.contains("--locked"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+    }
 }

@@ -1,0 +1,33 @@
+//! Library backing the `cutelock` command-line front end.
+//!
+//! The binary in `src/main.rs` is a thin wrapper over this crate:
+//! [`args`] parses `--flag value` / boolean-flag argument lists with no
+//! third-party dependency, and [`commands`] implements the subcommands
+//! (`bench`, `stats`, `lock`, `attack`, `overhead`, `convert`) on top of
+//! the workspace crates. Splitting the logic into a library keeps every
+//! piece unit-testable and lets [`commands::dispatch`] be driven directly
+//! from integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_cli::args::Args;
+//!
+//! # fn main() -> Result<(), String> {
+//! let argv: Vec<String> = ["--mode", "sat", "--quick"]
+//!     .iter()
+//!     .map(ToString::to_string)
+//!     .collect();
+//! let args = Args::parse(&argv, &["quick"])?;
+//! assert_eq!(args.req("mode")?, "sat");
+//! assert!(args.has("quick"));
+//! assert_eq!(args.num("timeout", 60u64)?, 60);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -10,8 +10,7 @@
 //! cutelock convert --in b10_locked.bench --to verilog --out b10_locked.v
 //! ```
 
-mod args;
-mod commands;
+use cutelock_cli::commands;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

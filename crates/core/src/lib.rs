@@ -17,6 +17,13 @@
 //! [`baselines`]: random XOR locking (RLL/EPIC), TTLock and DK-Lock, plus a
 //! SLED-style dynamic-key scheme as an extension.
 //!
+//! Evaluation loops that hammer the simulator (key verification, attack
+//! resilience sweeps) go through the batched entry points:
+//! [`LockedCircuit::wide_corruption_rate`] samples 64 stimulus lanes per
+//! cycle, and the workspace's scoped work-stealing thread [`Pool`]
+//! (re-exported here from [`cutelock_sim::pool`]) fans independent sweeps
+//! out across cores.
+//!
 //! # Example
 //!
 //! ```
@@ -50,5 +57,6 @@ mod locked;
 pub mod str_lock;
 
 pub use counter::{insert_mod_counter, CounterNets};
+pub use cutelock_sim::pool::{self, Pool};
 pub use key::{KeySchedule, KeyValue};
 pub use locked::{LockError, LockedCircuit, LockedOracle};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use cutelock_netlist::{NetId, Netlist, NetlistError};
-use cutelock_sim::{NetlistOracle, SequentialOracle};
+use cutelock_sim::{NetlistOracle, ParallelSim, SequentialOracle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -123,6 +123,106 @@ impl LockedCircuit {
             }
         }
         Ok(bad as f64 / cycles.max(1) as f64)
+    }
+
+    /// 64-lane batched variant of [`LockedCircuit::corruption_rate`]: the
+    /// locked netlist (with `key` held constant on the key port) and the
+    /// original run side by side on [`ParallelSim`], 64 independent random
+    /// stimulus lanes at a time, and the returned rate is the fraction of
+    /// *(lane, cycle)* samples on which any output differs.
+    ///
+    /// One call samples `cycles × 64` sequences' worth of behavior — this
+    /// is the batched entry point the attack-resilience loops use to verify
+    /// candidate keys. A rate of exactly `0.0` means no divergence was
+    /// observed on any lane of any cycle; for an exact-equivalence check
+    /// that is strictly stronger than the scalar loop at the same `cycles`.
+    /// Deterministic for a given `seed` (no threading is involved; lanes
+    /// are bit positions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the locked netlist's data-input count differs from the
+    /// original's input count (the same loud failure the scalar oracles
+    /// raise on a width mismatch).
+    pub fn wide_corruption_rate(
+        &self,
+        key: &KeyValue,
+        cycles: usize,
+        seed: u64,
+    ) -> Result<f64, NetlistError> {
+        self.wide_miter(key, cycles, seed, false)
+    }
+
+    /// Early-exit 64-lane equivalence check: true when the locked circuit
+    /// with `key` held constant matches the original on every lane of every
+    /// cycle ([`LockedCircuit::wide_corruption_rate`]` == 0.0`), bailing
+    /// out at the first diverging cycle — the cheap path for rejecting the
+    /// many wrong candidates attack loops produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Same width-mismatch panic as [`LockedCircuit::wide_corruption_rate`].
+    pub fn wide_key_matches(
+        &self,
+        key: &KeyValue,
+        cycles: usize,
+        seed: u64,
+    ) -> Result<bool, NetlistError> {
+        Ok(self.wide_miter(key, cycles, seed, true)? == 0.0)
+    }
+
+    /// Shared 64-lane miter loop. With `early_exit`, returns on the first
+    /// diverging cycle (any nonzero rate means "not equivalent").
+    fn wide_miter(
+        &self,
+        key: &KeyValue,
+        cycles: usize,
+        seed: u64,
+        early_exit: bool,
+    ) -> Result<f64, NetlistError> {
+        let mut locked = ParallelSim::new(&self.netlist)?;
+        let mut orig = ParallelSim::new(&self.original)?;
+        let data = self.data_input_ids();
+        let orig_inputs = self.original.inputs().to_vec();
+        assert_eq!(
+            data.len(),
+            orig_inputs.len(),
+            "locked data inputs must mirror the original's inputs"
+        );
+        // Key lanes are constant: a set bit fills all 64 lanes.
+        for (kid, &bit) in self.key_input_ids().into_iter().zip(key.bits()) {
+            locked.set_input(kid, if bit { !0 } else { 0 })?;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5749_4445); // "WIDE"
+        let mut bad = 0u64;
+        for _ in 0..cycles.max(1) {
+            for (&did, &oid) in data.iter().zip(&orig_inputs) {
+                let word = rng.next_u64();
+                locked.set_input(did, word)?;
+                orig.set_input(oid, word)?;
+            }
+            locked.eval();
+            orig.eval();
+            let mut diff = 0u64;
+            for (lw, ow) in locked.output_values().iter().zip(orig.output_values()) {
+                diff |= lw ^ ow;
+            }
+            bad += u64::from(diff.count_ones());
+            if early_exit && bad != 0 {
+                break;
+            }
+            locked.step();
+            orig.step();
+        }
+        Ok(bad as f64 / (cycles.max(1) * 64) as f64)
     }
 }
 
@@ -275,6 +375,46 @@ mod tests {
             .unwrap();
         assert!(r0 > 0.2, "corruption {r0}");
         assert!(r1 > 0.2, "corruption {r1}");
+    }
+
+    #[test]
+    fn wide_corruption_matches_exact_keys() {
+        // locked = original with the key XORed into the output: key 0 is
+        // transparent, key 1 corrupts every sample.
+        let original = bench::parse("o", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let locked_nl = bench::parse(
+            "l",
+            "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\ny = XOR(a, keyinput0)\n",
+        )
+        .unwrap();
+        let lc = LockedCircuit {
+            netlist: locked_nl,
+            original,
+            schedule: KeySchedule::constant(KeyValue::from_u64(0, 1), 1),
+            scheme: "test-xor",
+            counter_ffs: Vec::new(),
+            locked_ffs: Vec::new(),
+        };
+        let good = lc
+            .wide_corruption_rate(&KeyValue::from_u64(0, 1), 50, 7)
+            .unwrap();
+        let bad = lc
+            .wide_corruption_rate(&KeyValue::from_u64(1, 1), 50, 7)
+            .unwrap();
+        assert_eq!(good, 0.0);
+        assert_eq!(bad, 1.0);
+    }
+
+    #[test]
+    fn wide_corruption_agrees_with_scalar_on_multi_key_lock() {
+        let lc = tiny_locked();
+        // Any constant key is wrong on the schedule's off cycles; the wide
+        // estimator must see it too, and be deterministic per seed.
+        for key in [KeyValue::from_u64(0, 1), KeyValue::from_u64(1, 1)] {
+            let wide = lc.wide_corruption_rate(&key, 200, 5).unwrap();
+            assert!(wide > 0.2, "wide corruption {wide}");
+            assert_eq!(wide, lc.wide_corruption_rate(&key, 200, 5).unwrap());
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! * [`Netlist`] — a named, single-driver gate-level IR with primary inputs,
 //!   primary outputs, D flip-flops and combinational gates ([`GateKind`]).
-//! * [`bench`] — a parser and writer for the ISCAS/ITC **`.bench`** format,
+//! * [`mod@bench`] — a parser and writer for the ISCAS/ITC **`.bench`** format,
 //!   the interchange format used by logic-locking tooling (ABC, NEOS, FALL).
 //! * [`verilog`] — a structural Verilog writer.
 //! * [`topo`] — topological ordering, levelization and cycle detection.

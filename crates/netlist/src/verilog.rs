@@ -1,13 +1,16 @@
-//! Structural Verilog writer.
+//! Structural Verilog writer and reader.
 //!
 //! The paper's overhead flow converts `.bench` files to Verilog with ABC
-//! before synthesis; this module provides the equivalent export so locked
-//! netlists can be inspected with standard RTL tooling. Only writing is
-//! supported — the suite's interchange format is `.bench`.
+//! before synthesis; [`fn@write`] provides the equivalent export so locked
+//! netlists can be inspected with standard RTL tooling. [`parse`] reads the
+//! same structural subset back — enough for an emit → parse round trip
+//! ([`parse`]`(`[`fn@write`]`(nl))` reproduces `nl` up to identifier
+//! sanitization) — but it is not a general Verilog frontend; the suite's
+//! interchange format remains `.bench`.
 
 use std::collections::HashMap;
 
-use crate::{GateKind, NetId, Netlist};
+use crate::{GateKind, NetId, Netlist, NetlistError};
 
 /// Serializes a [`Netlist`] as a single structural Verilog module.
 ///
@@ -82,8 +85,233 @@ pub fn write(nl: &Netlist) -> String {
         }
         out.push_str("  end\n");
     }
+    // Power-up values: `.bench` records them as `# @init` pragmas; emit the
+    // Verilog equivalent so a round trip does not lose them.
+    if nl.dffs().iter().any(|ff| ff.init().is_some()) {
+        out.push_str("\n  initial begin\n");
+        for ff in nl.dffs() {
+            if let Some(init) = ff.init() {
+                out.push_str(&format!(
+                    "    {} = 1'b{};\n",
+                    name_of(ff.q()),
+                    u8::from(init)
+                ));
+            }
+        }
+        out.push_str("  end\n");
+    }
     out.push_str("endmodule\n");
     out
+}
+
+/// Parses the structural Verilog subset [`fn@write`] emits back into a
+/// [`Netlist`]: one module of gate primitives, `assign` statements
+/// (aliases, constants, ternary muxes), a single `always @(posedge clk)`
+/// block of non-blocking flip-flop updates, and an optional `initial`
+/// block of power-up values. `*_po` output-port aliases are folded away,
+/// so the result carries the original (sanitized) net names.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for anything outside
+/// that subset, and the usual construction errors (duplicate names,
+/// multiple drivers, unknown nets) for structurally bad input.
+pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
+    enum Block {
+        Top,
+        Always,
+        Initial,
+    }
+    let err = |line: usize, message: &str| NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    let mut nl: Option<Netlist> = None;
+    let mut outputs: Vec<String> = Vec::new(); // port names, declaration order
+    let mut aliases: HashMap<String, String> = HashMap::new(); // port -> net
+    let mut dff_idx: HashMap<String, usize> = HashMap::new(); // q name -> index
+    let mut block = Block::Top;
+
+    // Identifier lookup that creates undeclared nets on first use, so
+    // statement order never matters.
+    fn net(nl: &mut Netlist, name: &str) -> Result<NetId, NetlistError> {
+        match nl.find_net(name) {
+            Some(id) => Ok(id),
+            None => nl.add_net(name),
+        }
+    }
+
+    for (ln, raw) in src.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            if nl.is_some() {
+                return Err(err(ln, "nested module"));
+            }
+            let name = rest
+                .split(['(', ';'])
+                .next()
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| err(ln, "module needs a name"))?;
+            nl = Some(Netlist::new(name));
+            continue;
+        }
+        let Some(nl) = nl.as_mut() else {
+            return Err(err(ln, "statement before `module`"));
+        };
+        match block {
+            Block::Always | Block::Initial => {
+                if line == "end" {
+                    block = Block::Top;
+                    continue;
+                }
+                let (lhs, rhs, in_always) = match block {
+                    Block::Always => {
+                        let (l, r) = line
+                            .split_once("<=")
+                            .ok_or_else(|| err(ln, "expected `q <= d;`"))?;
+                        (l, r, true)
+                    }
+                    _ => {
+                        let (l, r) = line
+                            .split_once('=')
+                            .ok_or_else(|| err(ln, "expected `q = 1'b0;`"))?;
+                        (l, r, false)
+                    }
+                };
+                let q = lhs.trim();
+                let rhs = rhs.trim().trim_end_matches(';').trim();
+                if in_always {
+                    let q_id = net(nl, q)?;
+                    let d_id = net(nl, rhs)?;
+                    let idx = nl.add_dff_to(q, d_id, q_id)?;
+                    dff_idx.insert(q.to_string(), idx);
+                } else {
+                    let init = match rhs {
+                        "1'b0" => false,
+                        "1'b1" => true,
+                        other => return Err(err(ln, &format!("bad init value `{other}`"))),
+                    };
+                    let &idx = dff_idx
+                        .get(q)
+                        .ok_or_else(|| err(ln, &format!("init of non-flip-flop `{q}`")))?;
+                    nl.set_dff_init(idx, Some(init));
+                }
+            }
+            Block::Top => {
+                if line == "endmodule" {
+                    break;
+                }
+                if line.starts_with("always") {
+                    if !line.ends_with("begin") {
+                        return Err(err(ln, "expected `always @(posedge clk) begin`"));
+                    }
+                    block = Block::Always;
+                    continue;
+                }
+                if line.starts_with("initial") {
+                    if !line.ends_with("begin") {
+                        return Err(err(ln, "expected `initial begin`"));
+                    }
+                    block = Block::Initial;
+                    continue;
+                }
+                let Some((keyword, rest)) = line.split_once(char::is_whitespace) else {
+                    return Err(err(ln, "unrecognized statement"));
+                };
+                let rest = rest.trim().trim_end_matches(';').trim();
+                match keyword {
+                    "input" => {
+                        if rest != "clk" {
+                            nl.add_input(rest)?;
+                        }
+                    }
+                    "output" => outputs.push(rest.to_string()),
+                    "wire" | "reg" => {
+                        // Pure declarations; the net is created on first
+                        // use (or right here when it is never referenced).
+                        net(nl, rest)?;
+                    }
+                    "assign" => {
+                        let (lhs, rhs) = rest
+                            .split_once('=')
+                            .ok_or_else(|| err(ln, "assign needs `=`"))?;
+                        let (lhs, rhs) = (lhs.trim(), rhs.trim());
+                        if let Some((cond, arms)) = rhs.split_once('?') {
+                            let (t, f) = arms
+                                .split_once(':')
+                                .ok_or_else(|| err(ln, "ternary needs `:`"))?;
+                            let ins = [
+                                net(nl, cond.trim())?,
+                                net(nl, f.trim())?,
+                                net(nl, t.trim())?,
+                            ];
+                            let out = net(nl, lhs)?;
+                            nl.drive_with_gate(GateKind::Mux, out, &ins)?;
+                        } else if rhs == "1'b0" || rhs == "1'b1" {
+                            let kind = if rhs == "1'b1" {
+                                GateKind::Const1
+                            } else {
+                                GateKind::Const0
+                            };
+                            let out = net(nl, lhs)?;
+                            nl.drive_with_gate(kind, out, &[])?;
+                        } else if outputs.contains(&lhs.to_string()) {
+                            // `assign y_po = y;` — output-port alias.
+                            aliases.insert(lhs.to_string(), rhs.to_string());
+                        } else {
+                            let src_id = net(nl, rhs)?;
+                            let out = net(nl, lhs)?;
+                            nl.drive_with_gate(GateKind::Buf, out, &[src_id])?;
+                        }
+                    }
+                    prim => {
+                        let kind = match prim {
+                            "and" => GateKind::And,
+                            "or" => GateKind::Or,
+                            "nand" => GateKind::Nand,
+                            "nor" => GateKind::Nor,
+                            "xor" => GateKind::Xor,
+                            "xnor" => GateKind::Xnor,
+                            "not" => GateKind::Not,
+                            "buf" => GateKind::Buf,
+                            other => return Err(err(ln, &format!("unknown statement `{other}`"))),
+                        };
+                        let args = rest
+                            .split_once('(')
+                            .and_then(|(_, a)| a.rsplit_once(')'))
+                            .map(|(a, _)| a)
+                            .ok_or_else(|| err(ln, "primitive needs `(out, in...)`"))?;
+                        let mut ids = args.split(',').map(str::trim);
+                        let out_name = ids
+                            .next()
+                            .filter(|n| !n.is_empty())
+                            .ok_or_else(|| err(ln, "primitive needs an output"))?;
+                        let mut ins = Vec::new();
+                        for n in ids {
+                            ins.push(net(nl, n)?);
+                        }
+                        let out = net(nl, out_name)?;
+                        nl.drive_with_gate(kind, out, &ins)?;
+                    }
+                }
+            }
+        }
+    }
+    let mut nl = nl.ok_or_else(|| err(src.lines().count().max(1), "no module found"))?;
+    for port in &outputs {
+        let target = aliases.get(port).unwrap_or(port);
+        let id = nl
+            .find_net(target)
+            .ok_or_else(|| NetlistError::UnknownNet(target.clone()))?;
+        nl.mark_output(id)?;
+    }
+    nl.validate()?;
+    Ok(nl)
 }
 
 /// Maps every net to a legal, unique Verilog identifier.
@@ -150,6 +378,76 @@ mod tests {
         let v = write(&nl);
         assert!(v.contains("assign m = s ? z : a;"));
         assert!(v.contains("assign z = 1'b1;"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        // Every construct the writer emits: primitives, MUX/const assigns,
+        // flip-flops with and without init, an input fed straight to an
+        // output.
+        let nl = bench::parse(
+            "rt",
+            "INPUT(a)\nINPUT(s)\nOUTPUT(y)\nOUTPUT(a)\nOUTPUT(m)\n\
+             # @init q 1\nq = DFF(d)\n# @init r 0\nr = DFF(e)\np = DFF(w)\n\
+             one = CONST1()\nzero = CONST0()\n\
+             d = XOR(a, q)\ne = NAND(a, q, r)\nw = NOR(s, p)\n\
+             m = MUX(s, d, one)\nt = XNOR(e, zero)\nu = OR(t, w)\ny = NOT(u)\n",
+        )
+        .unwrap();
+        let back = parse(&write(&nl)).unwrap();
+        assert!(
+            bench::structurally_equal(&nl, &back),
+            "round trip changed the netlist:\n{}",
+            write(&back)
+        );
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        let nl = bench::parse(
+            "idem",
+            "INPUT(a)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(a, q)\ny = NOT(d)\n",
+        )
+        .unwrap();
+        let first = write(&nl);
+        let second = write(&parse(&first).unwrap());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse("assign y = a;\n"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("module m ();\n  frobnicate g0 (y, a);\nendmodule\n"),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("module m ();\n  initial begin\n    q = 1'bx;\n  end\nendmodule\n"),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parse_reads_inits() {
+        let src = concat!(
+            "module m (clk, a, y_po);\n",
+            "  input clk;\n  input a;\n  output y_po;\n",
+            "  reg q;\n  wire d;\n",
+            "  assign y_po = q;\n",
+            "  xor g0 (d, a, q);\n",
+            "  always @(posedge clk) begin\n    q <= d;\n  end\n",
+            "  initial begin\n    q = 1'b1;\n  end\n",
+            "endmodule\n",
+        );
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.dffs()[0].init(), Some(true));
+        assert_eq!(nl.input_count(), 1); // clk is not a data input
+        assert_eq!(nl.net_name(nl.outputs()[0]), "q");
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! --no-run` is a CI job) and, when actually run, executes each benchmark a
 //! bounded number of iterations and prints mean wall-clock time — enough to
 //! spot order-of-magnitude regressions locally without statistics machinery.
+//!
+//! Beyond timing, a [`BenchmarkGroup`] records every measurement it takes
+//! and prints a **comparison table** when it finishes: each entry's speedup
+//! relative to the group's first entry (the baseline). That is how the
+//! workspace's 1-thread-vs-N-thread sweep benchmarks report a measured —
+//! not asserted — speedup without the real criterion's baseline files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -114,6 +120,8 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             throughput: None,
+            results: Vec::new(),
+            unmeasured: 0,
         }
     }
 
@@ -129,10 +137,16 @@ impl Criterion {
 }
 
 /// A named group of benchmarks sharing throughput settings.
+///
+/// The group remembers every measurement; when at least two benchmarks ran,
+/// [`BenchmarkGroup::finish`] prints each entry's speedup relative to the
+/// **first** entry, the group's baseline.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a Criterion,
     name: String,
     throughput: Option<Throughput>,
+    results: Vec<(String, Duration)>,
+    unmeasured: usize,
 }
 
 impl BenchmarkGroup<'_> {
@@ -148,12 +162,16 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
-        run_one(
+        let mean = run_one(
             &full,
             self.criterion.sample_size as u64,
             self.throughput,
             &mut f,
         );
+        match mean {
+            Some(mean) => self.results.push((id.id, mean)),
+            None => self.unmeasured += 1,
+        }
         self
     }
 
@@ -169,17 +187,65 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
-        run_one(
+        let mean = run_one(
             &full,
             self.criterion.sample_size as u64,
             self.throughput,
             &mut |b| f(b, input),
         );
+        match mean {
+            Some(mean) => self.results.push((id.id, mean)),
+            None => self.unmeasured += 1,
+        }
         self
     }
 
-    /// Close the group.
-    pub fn finish(self) {}
+    /// Measured `(benchmark id, mean time)` pairs so far, in run order.
+    pub fn measurements(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+
+    /// Close the group, printing the comparison against the group's first
+    /// (baseline) entry when two or more benchmarks were measured. If any
+    /// benchmark in the group never called [`Bencher::iter`], the
+    /// comparison is withheld rather than silently promoting a later entry
+    /// to baseline.
+    pub fn finish(self) {
+        if self.unmeasured > 0 {
+            println!(
+                "{}: {} benchmark(s) produced no measurement; comparison skipped",
+                self.name, self.unmeasured
+            );
+            return;
+        }
+        let Some(((base_id, base), rest)) = self.results.split_first() else {
+            return;
+        };
+        if rest.is_empty() {
+            return;
+        }
+        println!("{}: comparison vs `{base_id}` ({base:?}/iter)", self.name);
+        for (id, mean) in rest {
+            println!("  {id}: {}", speedup_label(*base, *mean));
+        }
+    }
+}
+
+/// Formats `candidate` against `baseline` the way the comparison table
+/// prints it: `x2.13 faster`, `x1.52 slower`, or `no change`.
+pub fn speedup_label(baseline: Duration, candidate: Duration) -> String {
+    let (b, c) = (baseline.as_secs_f64(), candidate.as_secs_f64());
+    if b <= 0.0 || c <= 0.0 {
+        return "no change".to_string();
+    }
+    let ratio = b / c;
+    if ratio >= 1.005 {
+        format!("x{ratio:.2} faster")
+    } else if ratio <= 0.995 {
+        format!("x{:.2} slower", 1.0 / ratio)
+    } else {
+        "no change".to_string()
+    }
 }
 
 fn run_one(
@@ -187,7 +253,7 @@ fn run_one(
     iters: u64,
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
-) {
+) -> Option<Duration> {
     let mut b = Bencher { iters, mean: None };
     f(&mut b);
     match b.mean {
@@ -205,6 +271,7 @@ fn run_one(
         }
         None => println!("{name}: no measurement (Bencher::iter never called)"),
     }
+    b.mean
 }
 
 /// Bundle benchmark functions into a runnable group, mirroring
@@ -253,5 +320,26 @@ mod tests {
         });
         g.bench_function("plain", |b| b.iter(|| black_box(1)));
         g.finish();
+    }
+
+    #[test]
+    fn group_records_measurements_for_comparison() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("cmp");
+        g.bench_function("baseline", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("candidate", |b| b.iter(|| black_box(2 + 2)));
+        let ids: Vec<&str> = g.measurements().iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["baseline", "candidate"]);
+        assert!(g.measurements().iter().all(|(_, d)| *d > Duration::ZERO));
+        g.finish(); // prints the comparison; must not panic
+    }
+
+    #[test]
+    fn speedup_label_direction() {
+        let ms = Duration::from_millis;
+        assert_eq!(speedup_label(ms(100), ms(50)), "x2.00 faster");
+        assert_eq!(speedup_label(ms(50), ms(100)), "x2.00 slower");
+        assert_eq!(speedup_label(ms(100), ms(100)), "no change");
+        assert_eq!(speedup_label(Duration::ZERO, ms(1)), "no change");
     }
 }

@@ -8,8 +8,13 @@
 //! * [`ParallelSim`] — 64-way bit-parallel two-valued simulator for fast
 //!   random simulation (switching activity, functional analysis attacks);
 //! * [`oracle`] — the sequential/combinational oracle traits that attacks
-//!   query, plus the netlist-backed implementations;
-//! * [`activity`] — switching-activity estimation feeding the power model;
+//!   query, plus the netlist-backed implementations and their pooled batch
+//!   entry points;
+//! * [`pool`] — a dependency-free scoped work-stealing thread pool;
+//!   [`sweep`] fans multi-batch [`ParallelSim`] runs across it, so random
+//!   simulation scales with cores **and** lanes;
+//! * [`activity`] — switching-activity estimation feeding the power model,
+//!   single-core and pooled;
 //! * [`trace`] — waveform capture used by the validation tables.
 //!
 //! # Example
@@ -42,10 +47,12 @@ pub mod activity;
 mod logic;
 pub mod oracle;
 mod parallel;
+pub mod pool;
 mod simulator;
 pub mod trace;
 
 pub use logic::Logic;
 pub use oracle::{CombOracle, NetlistCombOracle, NetlistOracle, SequentialOracle};
-pub use parallel::ParallelSim;
+pub use parallel::{sweep, ParallelSim};
+pub use pool::Pool;
 pub use simulator::Simulator;

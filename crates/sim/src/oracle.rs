@@ -6,6 +6,8 @@
 
 use cutelock_netlist::{topo, GateKind, NetId, Netlist, NetlistError};
 
+use crate::pool::Pool;
+
 /// A combinational oracle: one input vector in, one output vector out.
 pub trait CombOracle {
     /// Number of input bits expected by [`CombOracle::query`].
@@ -161,6 +163,22 @@ impl NetlistOracle {
             .collect();
         (outs, next)
     }
+
+    /// Batch entry point: runs many **independent** input sequences, each
+    /// from reset, fanned out across `pool`. Element `i` of the result is
+    /// exactly what `self.run(&sequences[i])` would return, so the output
+    /// is bit-identical for every thread count.
+    ///
+    /// The query counter advances by the total number of steps served, as
+    /// if the sequences had been run one by one. Each stolen work unit is
+    /// one whole sequence, so the per-unit oracle clone amortizes over the
+    /// sequence's steps.
+    pub fn run_many(&mut self, sequences: &[Vec<Vec<bool>>], pool: &Pool) -> Vec<Vec<Vec<bool>>> {
+        let proto: &NetlistOracle = self;
+        let results = pool.map(sequences.len(), |i| proto.clone().run(&sequences[i]));
+        self.queries += sequences.iter().map(|s| s.len() as u64).sum::<u64>();
+        results
+    }
 }
 
 impl SequentialOracle for NetlistOracle {
@@ -238,6 +256,28 @@ impl NetlistCombOracle {
     pub fn query_count(&self) -> u64 {
         self.queries
     }
+
+    /// Batch entry point: evaluates many input vectors, fanned out across
+    /// `pool`. Element `i` of the result is exactly what
+    /// `self.query(&batch[i])` would return, in batch order, so the output
+    /// is bit-identical for every thread count. The query counter advances
+    /// by `batch.len()`.
+    ///
+    /// Vectors are dispatched in chunks of 32 so each stolen work unit
+    /// clones the oracle once, not once per vector.
+    pub fn query_batch(&mut self, batch: &[Vec<bool>], pool: &Pool) -> Vec<Vec<bool>> {
+        const CHUNK: usize = 32;
+        let proto: &NetlistCombOracle = self;
+        let results = pool.map(batch.len().div_ceil(CHUNK), |c| {
+            let mut orc = proto.clone();
+            batch[c * CHUNK..((c + 1) * CHUNK).min(batch.len())]
+                .iter()
+                .map(|v| orc.query(v))
+                .collect::<Vec<_>>()
+        });
+        self.queries += batch.len() as u64;
+        results.into_iter().flatten().collect()
+    }
 }
 
 impl CombOracle for NetlistCombOracle {
@@ -309,6 +349,37 @@ mod tests {
         let (outs, next) = orc.scan_query(&[true], &[true]);
         assert_eq!(outs, vec![true]); // y = q = 1
         assert_eq!(next, vec![false]); // d = 1 ^ 1
+    }
+
+    #[test]
+    fn run_many_matches_run_and_counts_queries() {
+        let nl = bench::parse(
+            "cnt",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let sequences: Vec<Vec<Vec<bool>>> = (0..6)
+            .map(|i| (0..4).map(|c| vec![(i + c) % 3 == 0]).collect())
+            .collect();
+        let orc = NetlistOracle::new(nl).unwrap();
+        let expected: Vec<_> = sequences.iter().map(|s| orc.clone().run(s)).collect();
+        for threads in [1, 4] {
+            let mut batch_orc = orc.clone();
+            let got = batch_orc.run_many(&sequences, &Pool::new(threads));
+            assert_eq!(got, expected, "{threads} threads");
+            assert_eq!(batch_orc.query_count(), 24);
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_query() {
+        let nl = bench::parse("x", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+        let batch: Vec<Vec<bool>> = (0..8).map(|i| vec![i & 1 != 0, i & 2 != 0]).collect();
+        let mut orc = NetlistCombOracle::new(nl).unwrap();
+        let expected: Vec<_> = batch.iter().map(|v| orc.clone().query(v)).collect();
+        let got = orc.query_batch(&batch, &Pool::new(3));
+        assert_eq!(got, expected);
+        assert_eq!(orc.query_count(), 8);
     }
 
     #[test]

@@ -17,6 +17,24 @@
 //! Absolute watts and µm² are model outputs, not silicon measurements; the
 //! comparison percentages are what the paper's figure actually shows, and
 //! those depend only on consistent modeling (see `DESIGN.md` §4).
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_netlist::bench;
+//! use cutelock_synth::{analyze, CellLibrary};
+//!
+//! # fn main() -> Result<(), cutelock_netlist::NetlistError> {
+//! let nl = bench::parse(
+//!     "toy",
+//!     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = AND(d, b)\n",
+//! )?;
+//! let report = analyze(&nl, &CellLibrary::default(), 100, 1)?;
+//! assert!(report.power_w > 0.0 && report.area_um2 > 0.0);
+//! assert_eq!(report.ios, 3);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

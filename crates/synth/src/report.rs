@@ -246,6 +246,55 @@ mod tests {
     }
 
     #[test]
+    fn pct_formula_and_edge_cases() {
+        // Plain percentage growth…
+        assert!((pct(100.0, 112.5) - 12.5).abs() < 1e-9);
+        // …negative overhead (locked smaller than original) stays signed…
+        assert!((pct(200.0, 150.0) + 25.0).abs() < 1e-9);
+        // …unchanged is exactly zero…
+        assert_eq!(pct(7.0, 7.0), 0.0);
+        // …and a zero baseline reports 0 instead of dividing by zero.
+        assert_eq!(pct(0.0, 42.0), 0.0);
+    }
+
+    #[test]
+    fn comparison_percentages_match_reports() {
+        let cmp = OverheadComparison {
+            original: OverheadReport {
+                power_w: 2.0e-3,
+                area_um2: 100.0,
+                cells: 80,
+                ios: 10,
+            },
+            locked: OverheadReport {
+                power_w: 2.5e-3,
+                area_um2: 110.0,
+                cells: 100,
+                ios: 12,
+            },
+        };
+        assert!((cmp.power_pct() - 25.0).abs() < 1e-9);
+        assert!((cmp.area_pct() - 10.0).abs() < 1e-9);
+        assert!((cmp.cells_pct() - 25.0).abs() < 1e-9);
+        assert!((cmp.ios_pct() - 20.0).abs() < 1e-9);
+        // The Fig. 4 caption style: signed, one decimal.
+        assert_eq!(format!("{:+.1}%", cmp.area_pct()), "+10.0%");
+        assert_eq!(format!("{:+.1}%", pct(200.0, 150.0)), "-25.0%");
+    }
+
+    #[test]
+    fn report_display_formatting() {
+        let rep = OverheadReport {
+            power_w: 1.234e-3,
+            area_um2: 456.78,
+            cells: 42,
+            ios: 7,
+        };
+        let shown = rep.to_string();
+        assert_eq!(shown, "power=1.234e-3 W  area=456.8 µm²  cells=42  IOs=7");
+    }
+
+    #[test]
     fn bigger_circuit_smaller_relative_overhead() {
         // The Fig. 4 trend: the same lock on a larger circuit costs less in
         // relative terms.
