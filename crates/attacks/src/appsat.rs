@@ -214,13 +214,17 @@ pub fn appsat_attack(
     };
     let mut rng = StdRng::seed_from_u64(0xa995a7);
     let diff = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
+    // Retractable DIP-hunt constraint (see `sat_attack`): the final
+    // extraction reuses the same live solver once the scope is popped.
+    m.solver.push_scope();
+    m.solver.add_scoped_clause(&[diff]);
     let mut iterations = 0usize;
     loop {
-        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+        let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver.set_timeout(Some(rem));
-        match m.solver.solve_with_assumptions(&[diff]) {
+        match m.solver.solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -249,6 +253,7 @@ pub fn appsat_attack(
             }
         }
     }
+    m.solver.pop_scope();
     match m.solver.solve() {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
@@ -290,13 +295,17 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
     let d12 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
     let d13 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &obs3);
 
+    // Phase 1 scope: demand a *double* DIP (both miters differ).
+    m.solver.push_scope();
+    m.solver.add_scoped_clause(&[d12]);
+    m.solver.add_scoped_clause(&[d13]);
     let mut iterations = 0usize;
     loop {
-        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+        let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver.set_timeout(Some(rem));
-        match m.solver.solve_with_assumptions(&[d12, d13]) {
+        match m.solver.solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -327,14 +336,18 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
             }
         }
     }
+    m.solver.pop_scope();
     // Fall back to the single-miter termination: no pair of distinguishable
-    // keys remains at all, or only double-DIPs are exhausted.
+    // keys remains at all, or only double-DIPs are exhausted. Phase 2
+    // scope: a plain single-miter DIP.
+    m.solver.push_scope();
+    m.solver.add_scoped_clause(&[d12]);
     loop {
-        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+        let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver.set_timeout(Some(rem));
-        match m.solver.solve_with_assumptions(&[d12]) {
+        match m.solver.solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -351,6 +364,7 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
             }
         }
     }
+    m.solver.pop_scope();
     match m.solver.solve() {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),

@@ -19,10 +19,16 @@
 //! consistent — the solver proves the attack's own model unsatisfiable and
 //! the run ends in [`AttackOutcome::Cns`].
 //!
-//! [`BmcMode::Bbo`] rebuilds the solver from scratch at every bound (the
-//! NEOS baseline, slow); [`BmcMode::Int`] extends one incremental solver
-//! frame by frame with assumption-guarded miters (fast). KC2 adds key-bit
-//! fixation on top — see [`crate::kc2`].
+//! All modes now share one **persistent incremental solver**: frames are
+//! appended as the bound grows, the per-bound "some output differs"
+//! constraint lives in a retractable [`Solver`] scope
+//! ([`Solver::push_scope`] / [`Solver::pop_scope`]), and oracle/DIP
+//! constraints are asserted permanently — so learnt clauses survive across
+//! bounds and iterations. [`BmcMode::Bbo`] and [`BmcMode::Int`] differ only
+//! in lineage (NEOS's `bbo` historically re-solved from scratch per bound);
+//! the legacy rebuild-per-bound path is kept as [`BmcMode::BboRebuild`]
+//! purely so the `attacks` criterion bench can measure the incremental
+//! speedup. KC2 adds key-bit fixation on top — see [`crate::kc2`].
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -40,11 +46,17 @@ use crate::{AttackBudget, AttackOutcome, AttackReport};
 /// Which unrolling strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BmcMode {
-    /// Re-solve from scratch at every bound (NEOS "BBO").
+    /// NEOS "BBO". Historically re-solved from scratch at every bound; now
+    /// appends frames to one persistent solver like [`BmcMode::Int`].
     Bbo,
     /// One incremental solver, frames appended as the bound grows (NEOS
     /// "INT").
     Int,
+    /// The legacy BBO behavior: tear the solver down and re-encode the
+    /// whole unrolling at every bound, replaying remembered DIPs. Kept as
+    /// the baseline for the `bbo_rebuild_vs_incremental` criterion group;
+    /// never the right choice outside benchmarking.
+    BboRebuild,
 }
 
 /// How the attacker models the initial state.
@@ -60,6 +72,12 @@ pub enum InitModel {
 /// Runs the BBO-mode attack.
 pub fn bbo_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
     Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Bbo)
+}
+
+/// Runs BBO with the legacy rebuild-per-bound solver strategy (the slow
+/// NEOS baseline). Only useful for benchmarking against [`bbo_attack`].
+pub fn bbo_rebuild_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::BboRebuild)
 }
 
 /// Runs the INT-mode attack.
@@ -121,7 +139,7 @@ impl<'a> Engine<'a> {
     }
 
     fn remaining(&self) -> Option<std::time::Duration> {
-        self.budget.timeout.checked_sub(self.start.elapsed())
+        self.budget.remaining(self.start)
     }
 
     fn report(&self, outcome: AttackOutcome, bound: usize) -> AttackReport {
@@ -237,11 +255,24 @@ impl<'a> Engine<'a> {
     /// KC2-style key-bit fixation: probe each still-free key bit under a
     /// small conflict budget; implied bits get asserted as units, shrinking
     /// the key condition.
-    fn crunch_key_bits(&self, solver: &mut Solver, k1: &[Lit], fixed: &mut [Option<bool>]) {
+    ///
+    /// Returns `true` when the attack's wall-clock deadline expired
+    /// mid-probe (the caller must report [`AttackOutcome::Timeout`]). The
+    /// probe loop checks the deadline *between* probes — a wide key no
+    /// longer blows past `AttackBudget::timeout` one 2 000-conflict probe at
+    /// a time — and the main loop's conflict budget is restored on every
+    /// exit path, timeout included.
+    fn crunch_key_bits(&self, solver: &mut Solver, k1: &[Lit], fixed: &mut [Option<bool>]) -> bool {
+        let mut timed_out = false;
         for (j, &kj) in k1.iter().enumerate() {
             if fixed[j].is_some() {
                 continue;
             }
+            let Some(rem) = self.remaining() else {
+                timed_out = true;
+                break;
+            };
+            solver.set_timeout(Some(rem));
             solver.set_conflict_budget(Some(2_000));
             if solver.solve_with_assumptions(&[kj]) == SatResult::Unsat {
                 solver.add_clause(&[!kj]);
@@ -252,6 +283,7 @@ impl<'a> Engine<'a> {
             }
         }
         solver.set_conflict_budget(self.budget.conflict_budget);
+        timed_out
     }
 
     pub(crate) fn run(mut self, mode: BmcMode) -> AttackReport {
@@ -262,8 +294,8 @@ impl<'a> Engine<'a> {
         let mut oracle =
             NetlistOracle::new(self.locked.original.clone()).expect("oracle netlist valid");
 
-        // Remembered DIP sequences with oracle answers (replayed in BBO
-        // mode, where the solver is rebuilt per bound).
+        // Remembered DIP sequences with oracle answers (replayed only in
+        // the legacy rebuild mode, where the solver is torn down per bound).
         let mut dips: Vec<DipTrace> = Vec::new();
 
         // Solver state: (solver, k1, k2, chain1, chain2, secret-state vars).
@@ -272,7 +304,7 @@ impl<'a> Engine<'a> {
         let mut fixed: Vec<Option<bool>> = vec![None; ki];
 
         for bound in 1..=self.budget.max_bound {
-            if mode == BmcMode::Bbo || inc.is_none() {
+            if mode == BmcMode::BboRebuild || inc.is_none() {
                 let mut solver = Solver::new();
                 solver.set_conflict_budget(self.budget.conflict_budget);
                 let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
@@ -315,17 +347,20 @@ impl<'a> Engine<'a> {
                 diff_lits.push(d);
             }
 
-            // DIP loop at this bound: assume "some frame's outputs differ".
+            // DIP loop at this bound. The "some frame's outputs differ"
+            // constraint holds only while we hunt for discriminating
+            // sequences, so it lives in a retractable scope: one clause per
+            // bound instead of one dead activation clause per iteration,
+            // and the solver (with everything it learnt) stays live for the
+            // candidate-key extraction and the next bound.
+            solver.push_scope();
+            solver.add_scoped_clause(&diff_lits);
             loop {
                 let Some(rem) = self.remaining() else {
                     return self.report(AttackOutcome::Timeout, bound);
                 };
                 solver.set_timeout(Some(rem));
-                let act = Lit::positive(solver.new_var());
-                let mut cl = vec![!act];
-                cl.extend(diff_lits.iter().copied());
-                solver.add_clause(&cl);
-                match solver.solve_with_assumptions(&[act]) {
+                match solver.solve_scoped(&[]) {
                     SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
                     SatResult::Unsat => break, // no DIS at this bound
                     SatResult::Sat => {
@@ -341,9 +376,11 @@ impl<'a> Engine<'a> {
                         oracle.reset();
                         let ys: Vec<Vec<bool>> = xseq.iter().map(|x| oracle.step(x)).collect();
                         self.add_dip_constraints(solver, k1, k2, secret.as_deref(), &xseq, &ys);
-                        dips.push((xseq, ys));
-                        if self.fix_key_bits {
-                            self.crunch_key_bits(solver, k1, &mut fixed);
+                        if mode == BmcMode::BboRebuild {
+                            dips.push((xseq, ys));
+                        }
+                        if self.fix_key_bits && self.crunch_key_bits(solver, k1, &mut fixed) {
+                            return self.report(AttackOutcome::Timeout, bound);
                         }
                         // Consistency: does any constant key remain?
                         if solver.solve() == SatResult::Unsat {
@@ -352,6 +389,7 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+            solver.pop_scope();
 
             // No DIS at this bound: extract and verify a candidate key.
             match solver.solve() {
@@ -411,6 +449,81 @@ mod tests {
             "got {}",
             report.outcome
         );
+    }
+
+    #[test]
+    fn bbo_rebuild_matches_incremental_outcomes() {
+        // The legacy rebuild path must stay a faithful baseline: same
+        // verdicts as incremental BBO on both a breakable and a resilient
+        // lock.
+        let xor = XorLock::new(3, 7).lock(&s27()).unwrap();
+        let inc = bbo_attack(&xor, &quick_budget());
+        let reb = bbo_rebuild_attack(&xor, &quick_budget());
+        assert_eq!(inc.outcome, reb.outcome, "inc {} vs rebuild {}", inc, reb);
+
+        let cute = CuteLockStr::new(CuteLockStrConfig {
+            keys: 2,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 11,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let reb = bbo_rebuild_attack(&cute, &quick_budget());
+        assert!(reb.outcome.defense_held(), "got {}", reb.outcome);
+    }
+
+    #[test]
+    fn crunch_key_bits_times_out_and_restores_budget() {
+        // Regression (attack-budget bugfix): with the wall clock already
+        // exhausted, the probe loop must bail before probing anything and
+        // must not leak its temporary 2 000-conflict budget.
+        let lc = XorLock::new(4, 3).lock(&s27()).unwrap();
+        let budget = AttackBudget {
+            timeout: std::time::Duration::ZERO,
+            ..quick_budget()
+        };
+        let engine = Engine::new(&lc, &budget, InitModel::Reset, true);
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(budget.conflict_budget);
+        let k1: Vec<Lit> = (0..4).map(|_| Lit::positive(solver.new_var())).collect();
+        let mut fixed = vec![None; 4];
+        let conflicts_before = solver.stats().conflicts;
+        assert!(
+            engine.crunch_key_bits(&mut solver, &k1, &mut fixed),
+            "expired deadline must report a timeout"
+        );
+        assert_eq!(
+            solver.conflict_budget(),
+            budget.conflict_budget,
+            "probe budget leaked into the main loop"
+        );
+        assert_eq!(
+            solver.stats().conflicts,
+            conflicts_before,
+            "probes ran anyway"
+        );
+        assert!(fixed.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn crunch_key_bits_restores_budget_after_probing() {
+        // The success path must restore the budget too (covers the
+        // incremental refactor's early-return audit).
+        let lc = XorLock::new(2, 3).lock(&s27()).unwrap();
+        let budget = quick_budget();
+        let engine = Engine::new(&lc, &budget, InitModel::Reset, true);
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(budget.conflict_budget);
+        let k1: Vec<Lit> = (0..2).map(|_| Lit::positive(solver.new_var())).collect();
+        // Force k1[0] true so the probe of !k1[0] is UNSAT and fixes a bit.
+        solver.add_clause(&[k1[0]]);
+        let mut fixed = vec![None; 2];
+        assert!(!engine.crunch_key_bits(&mut solver, &k1, &mut fixed));
+        assert_eq!(fixed[0], Some(true));
+        assert_eq!(solver.conflict_budget(), budget.conflict_budget);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use std::time::{Duration, Instant};
 
 use cutelock_netlist::{cone, Driver, GateKind, Netlist};
 
+use crate::AttackBudget;
+
 /// Refinement signature of one flip-flop: driver kind, whether its cone reads
 /// a primary input, predecessor labels, successor labels, and its own label.
 type FfSignature = (Option<GateKind>, bool, Vec<usize>, Vec<usize>, usize);
@@ -36,28 +38,49 @@ pub struct DanaReport {
     pub labels: Vec<usize>,
     /// CPU time.
     pub elapsed: Duration,
+    /// True when [`AttackBudget::timeout`] expired before the refinement
+    /// reached a fixpoint; `clusters`/`labels` then hold the partial (still
+    /// well-formed) partition computed so far.
+    pub timed_out: bool,
 }
 
-/// Runs register clustering on `nl`.
+/// Runs register clustering on `nl` with the default [`AttackBudget`].
 pub fn dana_attack(nl: &Netlist) -> DanaReport {
+    dana_attack_with_budget(nl, &AttackBudget::default())
+}
+
+/// Runs register clustering on `nl`, enforcing `budget.timeout` across the
+/// per-flip-flop cone analysis and every refinement round.
+///
+/// DANA is graph refinement, not SAT, so the deadline is polled between
+/// units of work (one cone, one round); a run that exhausts its budget
+/// returns the coarser partition it had with
+/// [`DanaReport::timed_out`] set instead of overrunning the clock.
+pub fn dana_attack_with_budget(nl: &Netlist, budget: &AttackBudget) -> DanaReport {
     let start = Instant::now();
+    let out_of_time = || budget.remaining(start).is_none();
     let n = nl.dff_count();
     if n == 0 {
         return DanaReport {
             clusters: Vec::new(),
             labels: Vec::new(),
             elapsed: start.elapsed(),
+            timed_out: false,
         };
     }
 
+    let mut timed_out = out_of_time();
+
     // Register-level dataflow: predecessors and successors per FF.
-    let graph = cone::ff_dependency_graph(nl);
     let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-    for (&src, dsts) in &graph {
-        for &dst in dsts {
-            succs[src].insert(dst);
-            preds[dst].insert(src);
+    if !timed_out {
+        let graph = cone::ff_dependency_graph(nl);
+        for (&src, dsts) in &graph {
+            for &dst in dsts {
+                succs[src].insert(dst);
+                preds[dst].insert(src);
+            }
         }
     }
 
@@ -70,19 +93,24 @@ pub fn dana_attack(nl: &Netlist) -> DanaReport {
             _ => None,
         })
         .collect();
-    let reads_pi: Vec<bool> = nl
-        .dffs()
-        .iter()
-        .map(|ff| {
-            cone::cone_support(nl, ff.d())
-                .iter()
-                .any(|&s| nl.net(s).driver() == Driver::Input)
-        })
-        .collect();
+    let mut reads_pi = vec![false; n];
+    for (f, ff) in nl.dffs().iter().enumerate() {
+        if timed_out || out_of_time() {
+            timed_out = true;
+            break;
+        }
+        reads_pi[f] = cone::cone_support(nl, ff.d())
+            .iter()
+            .any(|&s| nl.net(s).driver() == Driver::Input);
+    }
 
     // Partition refinement.
     let mut labels = vec![0usize; n];
     for _round in 0..64 {
+        if timed_out || out_of_time() {
+            timed_out = true;
+            break;
+        }
         let mut sig_map: HashMap<FfSignature, usize> = HashMap::new();
         let mut next = vec![0usize; n];
         for f in 0..n {
@@ -119,6 +147,7 @@ pub fn dana_attack(nl: &Netlist) -> DanaReport {
         clusters,
         labels,
         elapsed: start.elapsed(),
+        timed_out,
     }
 }
 
@@ -248,6 +277,26 @@ mod tests {
             locked_score < clean,
             "locking must degrade NMI: clean {clean} vs locked {locked_score}"
         );
+    }
+
+    #[test]
+    fn dana_respects_a_tiny_timeout() {
+        // Regression (attack-budget bugfix): DANA used to record elapsed
+        // time but never enforce the budget.
+        let c = itc99("b12").unwrap();
+        let budget = AttackBudget {
+            timeout: std::time::Duration::ZERO,
+            ..Default::default()
+        };
+        let report = dana_attack_with_budget(&c.netlist, &budget);
+        assert!(report.timed_out);
+        // The partial partition is still well-formed: every FF labeled,
+        // clusters partition the FF set.
+        assert_eq!(report.labels.len(), c.netlist.dff_count());
+        let covered: usize = report.clusters.iter().map(Vec::len).sum();
+        assert_eq!(covered, c.netlist.dff_count());
+        // A full-budget run does not time out.
+        assert!(!dana_attack(&c.netlist).timed_out);
     }
 
     #[test]

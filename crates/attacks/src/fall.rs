@@ -33,7 +33,7 @@ use cutelock_sat::{tseitin, Lit, SatResult, Solver};
 
 use crate::encode::const_lit;
 use crate::outcome::verify_candidate_key;
-use crate::AttackOutcome;
+use crate::{AttackBudget, AttackOutcome};
 
 /// Result of a FALL run — one row of the paper's Table V FALL columns.
 #[derive(Debug, Clone)]
@@ -66,9 +66,27 @@ enum ComparatorKind {
     Restore(BTreeMap<NetId, NetId>),
 }
 
-/// Runs FALL on the locked circuit.
+/// Runs FALL on the locked circuit with the default [`AttackBudget`].
 pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
+    fall_attack_with_budget(locked, &AttackBudget::default())
+}
+
+/// Runs FALL on the locked circuit, enforcing `budget.timeout` across the
+/// structural sweep, the pairing phase, and every SAT confirmation call.
+///
+/// A run that exhausts the budget reports [`AttackOutcome::Timeout`] with
+/// whatever partial candidate/key counts it had accumulated — FALL no
+/// longer merely *records* its elapsed time while overrunning the clock.
+pub fn fall_attack_with_budget(locked: &LockedCircuit, budget: &AttackBudget) -> FallReport {
     let start = Instant::now();
+    let out_of_time = || budget.remaining(start).is_none();
+    let timed_out = |candidates: usize, keys: Vec<KeyValue>| FallReport {
+        candidates,
+        keys_found: keys.len(),
+        keys,
+        outcome: AttackOutcome::Timeout,
+        elapsed: start.elapsed(),
+    };
     let sv = scan_view(&locked.netlist).expect("locked netlist well-formed");
     let nl = &sv.netlist;
     let key_set: Vec<NetId> = nl.key_inputs();
@@ -77,7 +95,12 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
     // ---- Structural phase -------------------------------------------------
     let mut strips = Vec::new();
     let mut restores = Vec::new();
-    for gate in nl.gates() {
+    for (gi, gate) in nl.gates().iter().enumerate() {
+        // A per-gate clock read would dominate the sweep on big netlists;
+        // every 256 gates keeps the overrun below a scheduling quantum.
+        if gi % 256 == 0 && out_of_time() {
+            return timed_out(0, Vec::new());
+        }
         if gate.kind() != GateKind::And || gate.inputs().len() < 2 {
             continue;
         }
@@ -122,6 +145,9 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
         key_set.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let mut candidates: Vec<(NetId, NetId, KeyValue)> = Vec::new();
     for s in &strips {
+        if out_of_time() {
+            return timed_out(candidates.len(), Vec::new());
+        }
         let ComparatorKind::Strip(pattern) = &s.kind else {
             continue;
         };
@@ -150,7 +176,10 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
     // ---- Key confirmation (SAT equivalence check) --------------------------
     let mut keys = Vec::new();
     for (strip_root, restore_root, cand) in &candidates {
-        if confirm_key(nl, *strip_root, *restore_root, cand)
+        let Some(rem) = budget.remaining(start) else {
+            return timed_out(candidates.len(), keys);
+        };
+        if confirm_key(nl, *strip_root, *restore_root, cand, rem)
             && verify_candidate_key(locked, cand, 256, 0xfa11)
         {
             keys.push(cand.clone());
@@ -203,9 +232,18 @@ fn classify_literal(nl: &Netlist, id: NetId, is_key: &dyn Fn(NetId) -> bool) -> 
 
 /// SAT check: `locked(X, cand)` must equal the netlist with both comparator
 /// roots forced to 0 (functionality restored + stripping removed).
-fn confirm_key(nl: &Netlist, strip_root: NetId, restore_root: NetId, cand: &KeyValue) -> bool {
+/// `remaining` is the attack's unspent wall-clock budget; a solver call
+/// that exhausts it answers `Unknown`, which counts as unconfirmed.
+fn confirm_key(
+    nl: &Netlist,
+    strip_root: NetId,
+    restore_root: NetId,
+    cand: &KeyValue,
+    remaining: std::time::Duration,
+) -> bool {
     let mut solver = Solver::new();
     solver.set_conflict_budget(Some(200_000));
+    solver.set_timeout(Some(remaining));
     // Copy A: keys bound to candidate.
     let mut shared_a: HashMap<NetId, Lit> = HashMap::new();
     for (&k, &b) in nl.key_inputs().iter().zip(cand.bits()) {
@@ -288,6 +326,21 @@ mod tests {
             assert_eq!(report.keys_found, 0, "{style:?}");
             assert_eq!(report.outcome, AttackOutcome::Fail);
         }
+    }
+
+    #[test]
+    fn fall_respects_a_tiny_timeout() {
+        // Regression (attack-budget bugfix): FALL used to record elapsed
+        // time but never enforce the budget. With a zero budget it must
+        // report Timeout, not run to completion.
+        let lc = TtLock::new(4, 3).lock(&s27()).unwrap();
+        let budget = AttackBudget {
+            timeout: std::time::Duration::ZERO,
+            ..Default::default()
+        };
+        let report = fall_attack_with_budget(&lc, &budget);
+        assert_eq!(report.outcome, AttackOutcome::Timeout);
+        assert_eq!(report.keys_found, 0);
     }
 
     #[test]

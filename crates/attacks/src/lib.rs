@@ -7,8 +7,10 @@
 //!
 //! * [`sat_attack`] — the combinational oracle-guided SAT attack
 //!   (Subramanyan et al.), applied through the full-scan view;
-//! * [`bmc`] — sequential unrolling attacks: `BBO` (re-solve per bound) and
-//!   `INT` (incremental bound extension);
+//! * [`bmc`] — sequential unrolling attacks: `BBO` and `INT`, both running
+//!   on one persistent incremental solver (frames appended per bound, the
+//!   per-bound miter constraint in a retractable solver scope); the legacy
+//!   rebuild-per-bound BBO survives as a benchmarking baseline;
 //! * [`kc2`] — key-condition crunching: incremental BMC plus key-bit
 //!   fixation, after Shamsi et al.;
 //! * [`rane`] — RANE-style formal attack modeling the initial state as a
@@ -20,7 +22,9 @@
 //!
 //! Every oracle-guided attack reports an [`AttackOutcome`] matching the
 //! paper's table legend: key found (green), wrong key (`x..x`), `CNS`
-//! ("condition not solvable"), `FAIL`, or timeout (`N/A`).
+//! ("condition not solvable"), `FAIL`, or timeout (`N/A`). Every attack —
+//! including the oracle-less [`fall`] and [`dana`] — enforces
+//! [`AttackBudget::timeout`] as a hard wall-clock deadline.
 //!
 //! # Example
 //!

@@ -64,6 +64,15 @@ pub struct AttackBudget {
     pub conflict_budget: Option<u64>,
 }
 
+impl AttackBudget {
+    /// Wall-clock still unspent by an attack that started at `start`
+    /// (`None` once the deadline has passed) — the single deadline check
+    /// every attack loop polls.
+    pub fn remaining(&self, start: std::time::Instant) -> Option<Duration> {
+        self.timeout.checked_sub(start.elapsed())
+    }
+}
+
 impl Default for AttackBudget {
     fn default() -> Self {
         Self {

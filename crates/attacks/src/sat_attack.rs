@@ -151,14 +151,19 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
     let mut obs2 = po2;
     obs2.extend(ns2);
     let diff = tseitin::encode_vectors_differ(&mut solver, &obs1, &obs2);
+    // The "observations differ" constraint holds only during the DIP hunt:
+    // keep it in a retractable scope so the final key-extraction solve runs
+    // on the same live solver, unconstrained by the miter.
+    solver.push_scope();
+    solver.add_scoped_clause(&[diff]);
 
     let mut iterations = 0usize;
     loop {
-        let Some(rem) = budget.timeout.checked_sub(start.elapsed()) else {
+        let Some(rem) = budget.remaining(start) else {
             return report(AttackOutcome::Timeout, iterations);
         };
         solver.set_timeout(Some(rem));
-        match solver.solve_with_assumptions(&[diff]) {
+        match solver.solve_scoped(&[]) {
             SatResult::Unknown => return report(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -201,6 +206,7 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
             }
         }
     }
+    solver.pop_scope();
     match solver.solve() {
         SatResult::Unsat => report(AttackOutcome::Cns, iterations),
         SatResult::Unknown => report(AttackOutcome::Timeout, iterations),

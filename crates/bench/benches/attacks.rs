@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cutelock_attacks::bmc::int_attack;
+use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack};
 use cutelock_attacks::dana::dana_attack;
 use cutelock_attacks::fall::fall_attack;
 use cutelock_attacks::kc2::kc2_attack;
@@ -53,6 +53,35 @@ fn bench_oracle_guided(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-acceptance comparison: legacy rebuild-per-bound BBO (first entry
+/// = the group baseline) against the incremental frame-append BBO, on locks
+/// whose attacks deepen through several bounds. The shim's group report
+/// prints the measured speedup.
+fn bench_bbo_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bbo_rebuild_vs_incremental");
+    // XOR-locked s27: the attack unrolls bound after bound until the key
+    // falls out, so per-bound re-encoding dominates the rebuild path.
+    let xor = XorLock::new(4, 3).lock(&s27()).expect("locks");
+    group.bench_function("rebuild_xorlock", |b| {
+        b.iter(|| bbo_rebuild_attack(&xor, &budget()))
+    });
+    group.bench_function("incremental_xorlock", |b| {
+        b.iter(|| bbo_attack(&xor, &budget()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bbo_rebuild_vs_incremental_multikey");
+    // Multi-key Cute-Lock: the dead-end (CNS) discovery path.
+    let multi = lock_s27(4);
+    group.bench_function("rebuild_deadend", |b| {
+        b.iter(|| bbo_rebuild_attack(&multi, &budget()))
+    });
+    group.bench_function("incremental_deadend", |b| {
+        b.iter(|| bbo_attack(&multi, &budget()))
+    });
+    group.finish();
+}
+
 fn bench_dana(c: &mut Criterion) {
     let mut group = c.benchmark_group("dana_clustering");
     for name in ["b03", "b12", "b14"] {
@@ -88,6 +117,6 @@ fn bench_fall(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
-    targets = bench_oracle_guided, bench_dana, bench_fall
+    targets = bench_oracle_guided, bench_bbo_incremental, bench_dana, bench_fall
 }
 criterion_main!(benches);

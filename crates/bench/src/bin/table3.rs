@@ -6,20 +6,41 @@
 //! is that **no attack recovers a working key**: cells read `CNS`, a wrong
 //! key (`x..x`), or time out.
 //!
+//! Since PR 3 the BBO and INT columns run the *same* incremental
+//! frame-append algorithm (see `cutelock_attacks::bmc`) and are expected
+//! to agree cell-for-cell; the paper's historical rebuild-per-bound BBO
+//! survives only as `bbo_rebuild_attack`, benchmarked in the `attacks`
+//! criterion groups rather than tabulated here.
+//!
+//! Whole-circuit jobs (lock + all three attacks) are fanned across
+//! [`cutelock_sim::pool::Pool`] and merged in table order, so the printed
+//! table is identical for any `--threads` count (byte-identical with
+//! `--no-times`, which masks the wall-clock columns).
+//!
 //! `--single-key` reduces every schedule to one repeated key (paper §IV.A):
 //! the attacks must then *succeed*, which validates the attack
 //! implementations themselves.
 
 use cutelock_attacks::bmc::{bbo_attack, int_attack};
 use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::AttackReport;
 use cutelock_bench::params::{in_quick_set, TABLE3};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::synthezza;
 use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
 use cutelock_core::{KeySchedule, KeyValue};
 
-const USAGE: &str = "table3 [--quick] [--single-key] [--only NAME] [--timeout SECS]\n\
+const USAGE: &str = "table3 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
+                     [--threads N] [--no-times]\n\
                      Cute-Lock-Beh vs BBO/INT/KC2 on the Synthezza suite (paper Table III)";
+
+/// One finished circuit row, computed by a pool worker.
+struct Row {
+    name: &'static str,
+    k: usize,
+    ki: usize,
+    reports: [AttackReport; 3],
+}
 
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
@@ -38,28 +59,29 @@ fn main() {
     );
     rule(104);
 
-    let mut resisted = 0usize;
-    let mut recovered = 0usize;
-    let mut ran = 0usize;
-    for &(name, k, ki) in TABLE3 {
-        if !opt.selected(name) || (opt.quick && !in_quick_set(name)) {
-            continue;
-        }
+    let selected: Vec<(&'static str, usize, usize)> = TABLE3
+        .iter()
+        .copied()
+        .filter(|(name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
+        .collect();
+
+    // One job per circuit: lock it and run all three attacks. The attacks
+    // themselves are single-threaded SAT loops, so circuit-level dispatch
+    // is the unit that fills the machine.
+    let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
+        let (name, k, ki) = selected[i];
         let Some(stg) = synthezza(name) else {
-            eprintln!("{name}: missing profile");
-            continue;
+            return Err(format!("{name}: missing profile"));
         };
         // Large keys on large machines stay affordable with the XOR-mask
         // wrongful policy (chosen automatically).
-        let schedule = if opt.single_key {
-            Some(KeySchedule::constant(
+        let schedule = opt.single_key.then(|| {
+            KeySchedule::constant(
                 KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
                 k,
-            ))
-        } else {
-            None
-        };
-        let locked = match CuteLockBeh::new(CuteLockBehConfig {
+            )
+        });
+        let locked = CuteLockBeh::new(CuteLockBehConfig {
             keys: k,
             key_bits: ki,
             wrongful: WrongfulPolicy::Auto,
@@ -67,17 +89,31 @@ fn main() {
             schedule,
         })
         .lock(&stg)
-        {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("{name}: lock failed: {e}");
+        .map_err(|e| format!("{name}: lock failed: {e}"))?;
+        Ok(Row {
+            name,
+            k,
+            ki,
+            reports: [
+                bbo_attack(&locked, &budget),
+                int_attack(&locked, &budget),
+                kc2_attack(&locked, &budget),
+            ],
+        })
+    });
+
+    let mut resisted = 0usize;
+    let mut recovered = 0usize;
+    let mut ran = 0usize;
+    for row in &results {
+        let row = match row {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
                 continue;
             }
         };
-        let bbo = bbo_attack(&locked, &budget);
-        let int = int_attack(&locked, &budget);
-        let kc2 = kc2_attack(&locked, &budget);
-        for r in [&bbo, &int, &kc2] {
+        for r in &row.reports {
             if r.outcome.defense_held() {
                 resisted += 1;
             } else {
@@ -87,12 +123,12 @@ fn main() {
         ran += 1;
         println!(
             "{:<10} {:>3} {:>4}  {:<28} {:<28} {:<28}",
-            name,
-            k,
-            ki,
-            format!("{} {}", bbo.outcome.label(), bbo.time_string()),
-            format!("{} {}", int.outcome.label(), int.time_string()),
-            format!("{} {}", kc2.outcome.label(), kc2.time_string()),
+            row.name,
+            row.k,
+            row.ki,
+            opt.cell(&row.reports[0]),
+            opt.cell(&row.reports[1]),
+            opt.cell(&row.reports[2]),
         );
     }
     rule(104);

@@ -5,19 +5,40 @@
 //! KC2 plus the RANE model (secret initial state). Expected: every cell is
 //! `CNS`, a wrong key, or a timeout — never a verified key.
 //!
+//! Since PR 3 the BBO and INT columns run the *same* incremental
+//! frame-append algorithm (see `cutelock_attacks::bmc`) and are expected
+//! to agree cell-for-cell; the paper's historical rebuild-per-bound BBO
+//! survives only as `bbo_rebuild_attack`, benchmarked in the `attacks`
+//! criterion groups rather than tabulated here.
+//!
+//! Whole-circuit jobs (lock + all four attacks) are fanned across
+//! [`cutelock_sim::pool::Pool`] and merged in table order, so the printed
+//! table is identical for any `--threads` count (byte-identical with
+//! `--no-times`).
+//!
 //! `--single-key` validates the attacks instead (paper §IV.A).
 
 use cutelock_attacks::bmc::{bbo_attack, int_attack};
 use cutelock_attacks::kc2::kc2_attack;
 use cutelock_attacks::rane::rane_attack;
+use cutelock_attacks::AttackReport;
 use cutelock_bench::params::{in_quick_set, TABLE4_ISCAS, TABLE4_ITC};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::{iscas89, itc99};
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue};
 
-const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS]\n\
+const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
+                     [--threads N] [--no-times]\n\
                      Cute-Lock-Str vs BBO/INT/KC2/RANE on ISCAS'89 + ITC'99 (paper Table IV)";
+
+/// One finished circuit row, computed by a pool worker.
+struct Row {
+    name: &'static str,
+    k: usize,
+    ki: usize,
+    reports: [AttackReport; 4],
+}
 
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
@@ -36,57 +57,72 @@ fn main() {
     );
     rule(120);
 
+    let suites = [("ISCAS'89", TABLE4_ISCAS), ("ITC'99", TABLE4_ITC)];
+    // Flatten both suites into one job list so small ITC circuits can fill
+    // workers while a big ISCAS circuit is still running.
+    let selected: Vec<(usize, &'static str, usize, usize)> = suites
+        .iter()
+        .enumerate()
+        .flat_map(|(si, (_, rows))| rows.iter().map(move |&(name, k, ki)| (si, name, k, ki)))
+        .filter(|(_, name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
+        .collect();
+
+    let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
+        let (suite, name, k, ki) = selected[i];
+        let circuit = if suite == 0 {
+            iscas89(name)
+        } else {
+            itc99(name)
+        }
+        .map_err(|e| format!("{name}: {e}"))?;
+        let schedule = opt.single_key.then(|| {
+            KeySchedule::constant(
+                KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
+                k,
+            )
+        });
+        let locked = CuteLockStr::new(CuteLockStrConfig {
+            keys: k,
+            key_bits: ki,
+            locked_ffs: 1,
+            seed: 0x7ab1e4,
+            schedule,
+            ..Default::default()
+        })
+        .lock(&circuit.netlist)
+        .map_err(|e| format!("{name}: lock failed: {e}"))?;
+        Ok(Row {
+            name,
+            k,
+            ki,
+            reports: [
+                bbo_attack(&locked, &budget),
+                int_attack(&locked, &budget),
+                kc2_attack(&locked, &budget),
+                rane_attack(&locked, &budget),
+            ],
+        })
+    });
+
     let mut resisted = 0usize;
     let mut recovered = 0usize;
     let mut ran = 0usize;
-    let suites = [("ISCAS'89", TABLE4_ISCAS), ("ITC'99", TABLE4_ITC)];
-    for (suite, rows) in suites {
-        println!("-- {suite}");
-        for &(name, k, ki) in rows {
-            if !opt.selected(name) || (opt.quick && !in_quick_set(name)) {
+    // Merge in suite order with unconditional section headers (matching the
+    // serial output format); `selected[i]` carries the suite for Err rows.
+    for (si, (suite_name, _)) in suites.iter().enumerate() {
+        println!("-- {suite_name}");
+        for (i, result) in results.iter().enumerate() {
+            if selected[i].0 != si {
                 continue;
             }
-            let circuit = if suite == "ISCAS'89" {
-                iscas89(name)
-            } else {
-                itc99(name)
-            };
-            let circuit = match circuit {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("{name}: {e}");
+            let row = match result {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("{msg}");
                     continue;
                 }
             };
-            let schedule = if opt.single_key {
-                Some(KeySchedule::constant(
-                    KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
-                    k,
-                ))
-            } else {
-                None
-            };
-            let locked = match CuteLockStr::new(CuteLockStrConfig {
-                keys: k,
-                key_bits: ki,
-                locked_ffs: 1,
-                seed: 0x7ab1e4,
-                schedule,
-                ..Default::default()
-            })
-            .lock(&circuit.netlist)
-            {
-                Ok(l) => l,
-                Err(e) => {
-                    eprintln!("{name}: lock failed: {e}");
-                    continue;
-                }
-            };
-            let bbo = bbo_attack(&locked, &budget);
-            let int = int_attack(&locked, &budget);
-            let kc2 = kc2_attack(&locked, &budget);
-            let rane = rane_attack(&locked, &budget);
-            for r in [&bbo, &int, &kc2, &rane] {
+            for r in &row.reports {
                 if r.outcome.defense_held() {
                     resisted += 1;
                 } else {
@@ -94,18 +130,15 @@ fn main() {
                 }
             }
             ran += 1;
-            let cell = |r: &cutelock_attacks::AttackReport| {
-                format!("{} {}", r.outcome.label(), r.time_string())
-            };
             println!(
                 "{:<8} {:>3} {:>4}  {:<24} {:<24} {:<24} {:<24}",
-                name,
-                k,
-                ki,
-                cell(&bbo),
-                cell(&int),
-                cell(&kc2),
-                cell(&rane),
+                row.name,
+                row.k,
+                row.ki,
+                opt.cell(&row.reports[0]),
+                opt.cell(&row.reports[1]),
+                opt.cell(&row.reports[2]),
+                opt.cell(&row.reports[3]),
             );
         }
     }

@@ -1,6 +1,6 @@
 //! Regenerates **Table V** — Cute-Lock-Str security against removal attacks.
 //!
-//! For each ITC'99 circuit, locked with Cute-Lock-Str (a quarter of the
+//! For each ITC'99 circuit, locked with Cute-Lock-Str (half of the
 //! flip-flops, matching the paper's "locking more FFs raises removal
 //! resistance" setting):
 //!
@@ -11,22 +11,39 @@
 //! * **FALL**: candidates and keys found (the paper reports 0 / 0
 //!   everywhere) plus CPU time.
 //!
+//! Whole-circuit jobs are fanned across [`cutelock_sim::pool::Pool`] and
+//! merged in table order (`--threads`, `--no-times` as in table3/table4).
+//!
 //! `--baselines` adds the contrast run: FALL against TTLock-locked copies,
 //! where it *does* find the key (81% success in FALL's own paper).
 
-use cutelock_attacks::dana::{dana_attack, score_against_ground_truth};
-use cutelock_attacks::fall::fall_attack;
+use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
+use cutelock_attacks::fall::{fall_attack_with_budget, FallReport};
+use cutelock_attacks::AttackOutcome;
 use cutelock_bench::params::{in_quick_set, TABLE5};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::itc99;
 use cutelock_core::baselines::TtLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 
-const USAGE: &str = "table5 [--quick] [--only NAME] [--baselines]\n\
+const USAGE: &str = "table5 [--quick] [--only NAME] [--baselines] [--timeout SECS] \
+                     [--threads N] [--no-times]\n\
                      DANA NMI + FALL on Cute-Lock-Str-locked ITC'99 (paper Table V)";
+
+/// One finished circuit row, computed by a pool worker.
+struct Row {
+    name: &'static str,
+    clean: f64,
+    locked_score: f64,
+    fall: FallReport,
+    /// A DANA run (clean or locked) hit its deadline: the NMI scores come
+    /// from a partial partition.
+    dana_timed_out: bool,
+}
 
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
+    let budget = opt.budget();
     println!("Table V: Cute-Lock-Str security against removal attacks");
     println!(
         "{:<8} {:>10} {:>10}  {:>10} {:>6} {:>12}",
@@ -34,28 +51,25 @@ fn main() {
     );
     rule(64);
 
-    let mut clean_scores = Vec::new();
-    let mut locked_scores = Vec::new();
-    let mut total_keys_found = 0usize;
-    for &name in TABLE5 {
-        if !opt.selected(name) || (opt.quick && !in_quick_set(name)) {
-            continue;
-        }
-        let circuit = match itc99(name) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("{name}: {e}");
-                continue;
-            }
-        };
+    let selected: Vec<&'static str> = TABLE5
+        .iter()
+        .copied()
+        .filter(|name| opt.selected(name) && (!opt.quick || in_quick_set(name)))
+        .collect();
+
+    let pool = opt.pool();
+    let results: Vec<Result<Row, String>> = pool.map(selected.len(), |i| {
+        let name = selected[i];
+        let circuit = itc99(name).map_err(|e| format!("{name}: {e}"))?;
         let truth = circuit.word_labels();
-        let clean = score_against_ground_truth(&dana_attack(&circuit.netlist), &truth);
+        let clean_dana = dana_attack_with_budget(&circuit.netlist, &budget);
+        let clean = score_against_ground_truth(&clean_dana, &truth);
 
         // Lock half of the flip-flops (at least 2) — the paper's removal
         // experiments lock aggressively ("locking more FFs would provide
         // more resilience against dataflow and removal attacks", §III-C).
         let n_lock = (circuit.netlist.dff_count() / 2).max(2);
-        let locked = match CuteLockStr::new(CuteLockStrConfig {
+        let locked = CuteLockStr::new(CuteLockStrConfig {
             keys: 4,
             key_bits: 5,
             locked_ffs: n_lock,
@@ -64,27 +78,50 @@ fn main() {
             ..Default::default()
         })
         .lock(&circuit.netlist)
-        {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("{name}: lock failed: {e}");
-                continue;
-            }
-        };
-        let dana = dana_attack(&locked.netlist);
+        .map_err(|e| format!("{name}: lock failed: {e}"))?;
+        let dana = dana_attack_with_budget(&locked.netlist, &budget);
         let locked_score = score_against_ground_truth(&dana, &truth);
-        let fall = fall_attack(&locked);
-        clean_scores.push(clean);
-        locked_scores.push(locked_score);
-        total_keys_found += fall.keys_found;
-        println!(
-            "{:<8} {:>10.2} {:>10.2}  {:>10} {:>6} {:>12.1}",
+        let fall = fall_attack_with_budget(&locked, &budget);
+        Ok(Row {
             name,
             clean,
             locked_score,
-            fall.candidates,
-            fall.keys_found,
-            fall.elapsed.as_secs_f64(),
+            fall,
+            dana_timed_out: clean_dana.timed_out || dana.timed_out,
+        })
+    });
+
+    let mut clean_scores = Vec::new();
+    let mut locked_scores = Vec::new();
+    let mut total_keys_found = 0usize;
+    for row in &results {
+        let row = match row {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                continue;
+            }
+        };
+        clean_scores.push(row.clean);
+        locked_scores.push(row.locked_score);
+        total_keys_found += row.fall.keys_found;
+        // A budget-truncated run must not masquerade as the paper's
+        // resilient result: flag it in the row.
+        let mut flags = String::new();
+        if row.fall.outcome == AttackOutcome::Timeout {
+            flags.push_str(" [FALL timed out]");
+        }
+        if row.dana_timed_out {
+            flags.push_str(" [DANA timed out: partial NMI]");
+        }
+        println!(
+            "{:<8} {:>10.2} {:>10.2}  {:>10} {:>6} {:>12}{flags}",
+            row.name,
+            row.clean,
+            row.locked_score,
+            row.fall.candidates,
+            row.fall.keys_found,
+            opt.secs(row.fall.elapsed),
         );
     }
     rule(64);
@@ -110,25 +147,31 @@ fn main() {
             "Circuit", "Candidates", "Keys", "CPU (s)"
         );
         rule(42);
+        let base_names: Vec<&'static str> = TABLE5
+            .iter()
+            .copied()
+            .take(if opt.quick { 4 } else { 10 })
+            .collect();
+        let base: Vec<Option<(&'static str, FallReport)>> = pool.map(base_names.len(), |i| {
+            let name = base_names[i];
+            let circuit = itc99(name).ok()?;
+            let ki = circuit.netlist.input_count().clamp(2, 8);
+            let tt = TtLock::new(ki, 7).lock(&circuit.netlist).ok()?;
+            Some((name, fall_attack_with_budget(&tt, &budget)))
+        });
         let mut tt_broken = 0usize;
         let mut tt_total = 0usize;
-        for &name in TABLE5.iter().take(if opt.quick { 4 } else { 10 }) {
-            let Ok(circuit) = itc99(name) else { continue };
-            let ki = circuit.netlist.input_count().clamp(2, 8);
-            let Ok(tt) = TtLock::new(ki, 7).lock(&circuit.netlist) else {
-                continue;
-            };
-            let fall = fall_attack(&tt);
+        for (name, fall) in base.into_iter().flatten() {
             tt_total += 1;
             if fall.keys_found > 0 {
                 tt_broken += 1;
             }
             println!(
-                "{:<8} {:>10} {:>6} {:>12.1}",
+                "{:<8} {:>10} {:>6} {:>12}",
                 name,
                 fall.candidates,
                 fall.keys_found,
-                fall.elapsed.as_secs_f64()
+                opt.secs(fall.elapsed)
             );
         }
         rule(42);

@@ -12,7 +12,13 @@
 //! | `fig4`   | Fig. 4         | Overhead vs. DK-Lock on ITC'99 |
 //!
 //! Every binary accepts `--quick` (subset of circuits, smaller budgets) and
-//! prints machine-grep-friendly rows. See `crates/bench/README.md` for
+//! prints machine-grep-friendly rows. The attack-suite bins (`table3`,
+//! `table4`, `table5`) fan whole-circuit attack jobs across
+//! [`cutelock_sim::pool::Pool`] and merge the finished rows **in table
+//! order**, so the printed table is identical for any `--threads` count;
+//! `--no-times` additionally masks the wall-clock columns, making the
+//! output byte-for-byte reproducible (the CI determinism check diffs a
+//! 1-thread against an N-thread run). See `crates/bench/README.md` for
 //! per-binary invocations and expected runtimes.
 //!
 //! # Example
@@ -20,11 +26,14 @@
 //! ```
 //! use cutelock_bench::{params, Options};
 //!
-//! let argv = ["table4", "--quick", "--only", "b10"].map(String::from);
+//! let argv = ["table4", "--quick", "--only", "b10", "--threads", "2", "--no-times"]
+//!     .map(String::from);
 //! let opt = Options::parse(argv.into_iter(), "usage");
 //! assert!(opt.quick && opt.selected("b10") && !opt.selected("b12"));
 //! // --quick caps the attack budget so a smoke run stays bounded.
 //! assert!(opt.budget().timeout.as_secs() <= 10);
+//! assert_eq!(opt.pool().threads(), 2);
+//! assert!(opt.no_times);
 //! assert!(params::in_quick_set("b10"));
 //! ```
 
@@ -34,7 +43,8 @@ pub mod params;
 
 use std::time::Duration;
 
-use cutelock_attacks::AttackBudget;
+use cutelock_attacks::{AttackBudget, AttackReport};
+use cutelock_sim::pool::Pool;
 
 /// Command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -50,6 +60,11 @@ pub struct Options {
     pub timeout_secs: u64,
     /// Include baseline-scheme contrast rows where applicable.
     pub baselines: bool,
+    /// Worker threads for whole-circuit attack dispatch (`None` = one per
+    /// core).
+    pub threads: Option<usize>,
+    /// Mask wall-clock columns so output is byte-for-byte reproducible.
+    pub no_times: bool,
 }
 
 impl Default for Options {
@@ -60,6 +75,8 @@ impl Default for Options {
             only: None,
             timeout_secs: 60,
             baselines: false,
+            threads: None,
+            no_times: false,
         }
     }
 }
@@ -92,6 +109,14 @@ impl Options {
                             std::process::exit(2);
                         });
                 }
+                "--threads" => {
+                    let n: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs a worker count\n{usage}");
+                        std::process::exit(2);
+                    });
+                    opt.threads = Some(n.max(1));
+                }
+                "--no-times" => opt.no_times = true,
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -118,6 +143,35 @@ impl Options {
     /// Whether this circuit should run.
     pub fn selected(&self, name: &str) -> bool {
         self.only.as_deref().is_none_or(|only| only == name)
+    }
+
+    /// The worker pool implied by `--threads` (one worker per core when the
+    /// flag is absent). Results dispatched through [`Pool::map`] come back
+    /// in index order, so table output is deterministic for any width.
+    pub fn pool(&self) -> Pool {
+        match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::auto(),
+        }
+    }
+
+    /// Formats one attack-report table cell: outcome label plus wall-clock,
+    /// or the label alone under `--no-times` (the reproducible-output mode).
+    pub fn cell(&self, r: &AttackReport) -> String {
+        if self.no_times {
+            r.outcome.label().to_string()
+        } else {
+            format!("{} {}", r.outcome.label(), r.time_string())
+        }
+    }
+
+    /// Formats a seconds column, masked under `--no-times`.
+    pub fn secs(&self, d: Duration) -> String {
+        if self.no_times {
+            "-".to_string()
+        } else {
+            format!("{:.1}", d.as_secs_f64())
+        }
     }
 }
 
@@ -168,6 +222,35 @@ mod tests {
         let o = parse(&["--timeout", "7"]);
         assert_eq!(o.timeout_secs, 7);
         assert_eq!(o.budget().timeout.as_secs(), 7);
+    }
+
+    #[test]
+    fn threads_flag_sizes_the_pool() {
+        let o = parse(&[]);
+        assert!(o.threads.is_none());
+        assert!(o.pool().threads() >= 1);
+        let o = parse(&["--threads", "3"]);
+        assert_eq!(o.pool().threads(), 3);
+        // Zero clamps to one worker rather than erroring.
+        let o = parse(&["--threads", "0"]);
+        assert_eq!(o.pool().threads(), 1);
+    }
+
+    #[test]
+    fn no_times_masks_wall_clock_columns() {
+        use cutelock_attacks::{AttackOutcome, AttackReport};
+        let r = AttackReport {
+            outcome: AttackOutcome::Cns,
+            elapsed: Duration::from_millis(1234),
+            iterations: 1,
+            bound: 1,
+        };
+        let o = parse(&["--no-times"]);
+        assert_eq!(o.cell(&r), "CNS");
+        assert_eq!(o.secs(r.elapsed), "-");
+        let o = parse(&[]);
+        assert!(o.cell(&r).starts_with("CNS 0m1."));
+        assert_eq!(o.secs(r.elapsed), "1.2");
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
 use cutelock_attacks::bmc::{bbo_attack, int_attack};
-use cutelock_attacks::dana::{dana_attack, score_against_ground_truth};
-use cutelock_attacks::fall::fall_attack;
+use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
+use cutelock_attacks::fall::fall_attack_with_budget;
 use cutelock_attacks::kc2::kc2_attack;
 use cutelock_attacks::rane::rane_attack;
 use cutelock_attacks::sat_attack::scan_sat_attack;
@@ -230,7 +230,7 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
     };
     match mode {
         "fall" => {
-            let r = fall_attack(&locked);
+            let r = fall_attack_with_budget(&locked, &budget);
             println!(
                 "FALL: {} candidates, {} keys, {:.1}s -> {}",
                 r.candidates,
@@ -240,12 +240,17 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
             );
         }
         "dana" => {
-            let r = dana_attack(&locked.netlist);
+            let r = dana_attack_with_budget(&locked.netlist, &budget);
             println!(
-                "DANA: {} clusters over {} FFs in {:.1}s",
+                "DANA: {} clusters over {} FFs in {:.1}s{}",
                 r.clusters.len(),
                 locked.netlist.dff_count(),
-                r.elapsed.as_secs_f64()
+                r.elapsed.as_secs_f64(),
+                if r.timed_out {
+                    " [timed out: partial partition]"
+                } else {
+                    ""
+                }
             );
             // Against an original with known words there is no ground truth
             // here; report cluster sizes instead.

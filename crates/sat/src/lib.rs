@@ -7,8 +7,11 @@
 //!
 //! * [`Solver`] — conflict-driven clause learning with two-watched literals,
 //!   VSIDS branching, phase saving, Luby restarts, learnt-clause database
-//!   reduction, and **incremental solving under assumptions** (the mechanism
-//!   behind the KC2-style attack);
+//!   reduction, **incremental solving under assumptions**, and
+//!   activation-literal **scopes** ([`Solver::push_scope`] /
+//!   [`Solver::pop_scope`]) for retractable clause groups — the mechanism
+//!   that lets every BMC/DIP attack loop reuse one live solver across
+//!   bounds instead of re-encoding from scratch;
 //! * [`tseitin`] — Tseitin encoding of combinational
 //!   [`Netlist`](cutelock_netlist::Netlist)s plus gate-level helpers for
 //!   building miters directly in CNF;

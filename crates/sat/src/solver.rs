@@ -57,7 +57,12 @@ struct Watcher {
 /// [`solve`](Solver::solve) calls, and
 /// [`solve_with_assumptions`](Solver::solve_with_assumptions) decides the
 /// formula under temporary unit assumptions without permanently asserting
-/// them.
+/// them. On top of assumptions, activation-literal **scopes**
+/// ([`push_scope`](Solver::push_scope) /
+/// [`add_scoped_clause`](Solver::add_scoped_clause) /
+/// [`pop_scope`](Solver::pop_scope)) make whole clause groups retractable:
+/// the attack loops keep one live solver across every BMC bound and DIP
+/// iteration, so learnt clauses accumulate instead of being rebuilt.
 #[derive(Debug, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -80,6 +85,8 @@ pub struct Solver {
     num_learnts: usize,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// Activation literals of the currently open scopes, innermost last.
+    scopes: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -112,6 +119,7 @@ impl Solver {
             num_learnts: 0,
             conflict_budget: None,
             deadline: None,
+            scopes: Vec::new(),
         }
     }
 
@@ -157,6 +165,78 @@ impl Solver {
     /// Aborts searches that run past `timeout` from now (`None` removes it).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.deadline = timeout.map(|d| Instant::now() + d);
+    }
+
+    /// The currently configured conflict budget (`None` = unlimited).
+    ///
+    /// Lets callers that temporarily tighten the budget (KC2-style key-bit
+    /// probes) verify they restored it on every exit path.
+    pub fn conflict_budget(&self) -> Option<u64> {
+        self.conflict_budget
+    }
+
+    // ------------------------------------------------------------------
+    // Activation-literal scopes
+    // ------------------------------------------------------------------
+
+    /// Opens a retractable clause scope and returns its activation literal.
+    ///
+    /// Clauses added through [`add_scoped_clause`](Solver::add_scoped_clause)
+    /// while the scope is open are guarded by the activation literal: they
+    /// constrain the search only when the literal is assumed, which
+    /// [`solve_scoped`](Solver::solve_scoped) does automatically.
+    /// [`pop_scope`](Solver::pop_scope) permanently retracts them **without
+    /// rebuilding the solver** — everything learnt while the scope was open
+    /// (including clauses mentioning the activation literal, which become
+    /// satisfied) stays valid. This is the incremental pattern the BMC/DIP
+    /// attack loops lean on: the per-bound "some output differs" constraint
+    /// lives in a scope, while oracle constraints are added permanently.
+    ///
+    /// Scopes nest; they must be popped innermost-first.
+    pub fn push_scope(&mut self) -> Lit {
+        let act = Lit::positive(self.new_var());
+        self.scopes.push(act);
+        act
+    }
+
+    /// Closes the innermost scope, permanently retracting its clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        let act = self.scopes.pop().expect("pop_scope without an open scope");
+        // The unit clause !act satisfies every clause guarded by this scope,
+        // retiring them without touching the clause database structure.
+        self.add_clause(&[!act]);
+    }
+
+    /// Number of currently open scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Adds a clause guarded by the innermost open scope (a plain permanent
+    /// clause when no scope is open). Same return contract as
+    /// [`add_clause`](Solver::add_clause).
+    pub fn add_scoped_clause(&mut self, lits: &[Lit]) -> bool {
+        match self.scopes.last().copied() {
+            Some(act) => {
+                let mut guarded = Vec::with_capacity(lits.len() + 1);
+                guarded.push(!act);
+                guarded.extend_from_slice(lits);
+                self.add_clause(&guarded)
+            }
+            None => self.add_clause(lits),
+        }
+    }
+
+    /// Decides the formula with every open scope active, under additional
+    /// temporary `assumptions`.
+    pub fn solve_scoped(&mut self, assumptions: &[Lit]) -> SatResult {
+        let mut all = self.scopes.clone();
+        all.extend_from_slice(assumptions);
+        self.solve_with_assumptions(&all)
     }
 
     /// Adds a clause. Returns `false` when the formula became trivially
@@ -919,6 +999,116 @@ mod tests {
         s.set_conflict_budget(Some(10));
         assert_eq!(s.solve(), SatResult::Unknown);
         s.set_conflict_budget(None);
+    }
+
+    #[test]
+    fn scoped_clauses_bind_only_while_scope_is_active() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let scope = s.push_scope();
+        assert_eq!(s.scope_depth(), 1);
+        // In scope: a must be true.
+        s.add_scoped_clause(&[Lit::positive(a)]);
+        assert_eq!(s.solve_scoped(&[]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        // The scoped clause is retractable: assuming !a with the scope
+        // inactive is still satisfiable.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.lit_value(scope), Some(false));
+        // In scope, !a is contradictory.
+        assert_eq!(s.solve_scoped(&[Lit::negative(a)]), SatResult::Unsat);
+        s.pop_scope();
+        assert_eq!(s.scope_depth(), 0);
+        // After pop the clause is gone for good.
+        s.add_clause(&[Lit::negative(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(false));
+    }
+
+    #[test]
+    fn scopes_nest_and_retract_independently() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push_scope();
+        s.add_scoped_clause(&[Lit::positive(a)]);
+        s.push_scope();
+        s.add_scoped_clause(&[Lit::positive(b)]);
+        assert_eq!(s.solve_scoped(&[]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(true));
+        // Popping the inner scope keeps the outer constraint live.
+        s.pop_scope();
+        assert_eq!(s.solve_scoped(&[Lit::negative(b)]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.solve_scoped(&[Lit::negative(a)]), SatResult::Unsat);
+        s.pop_scope();
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a)]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn scoped_clause_without_scope_is_permanent() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_scoped_clause(&[Lit::positive(a)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::negative(a)]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn learnt_clauses_survive_scope_retraction() {
+        // Solve a hard-ish instance inside a scope, pop it, and confirm the
+        // solver keeps functioning with its accumulated state.
+        let holes = 5;
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Var(0); holes]; pigeons];
+        for p in var.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        s.push_scope();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_scoped_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_scoped_clause(&[l1, l2]);
+                }
+            }
+        }
+        assert_eq!(s.solve_scoped(&[]), SatResult::Unsat);
+        let learnt_before = s.stats().conflicts;
+        assert!(learnt_before > 0, "PHP should conflict");
+        s.pop_scope();
+        // The contradiction lived in the scope: the formula is SAT again,
+        // and fresh permanent clauses still work.
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[Lit::positive(var[0][0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(var[0][0]), Some(true));
+    }
+
+    #[test]
+    fn conflict_budget_getter_reflects_setting() {
+        let mut s = Solver::new();
+        assert_eq!(s.conflict_budget(), None);
+        s.set_conflict_budget(Some(42));
+        assert_eq!(s.conflict_budget(), Some(42));
+        s.set_conflict_budget(None);
+        assert_eq!(s.conflict_budget(), None);
     }
 
     #[test]
