@@ -10,26 +10,24 @@
 //!   to find input patterns that eliminate *at least two* wrong keys at
 //!   once, defeating SARLock-style one-key-per-DIP defenses.
 //!
-//! Both are built here on the scan-view model of [`crate::sat_attack`].
-//! Against Cute-Lock they fare no better than the exact attack: the
-//! approximate key AppSAT returns is still a *constant* key, so its error
-//! rate can never reach zero, and the run ends in a (labeled) approximate
-//! wrong key; Double-DIP's pair constraint just reaches the `CNS` dead end
-//! in fewer iterations.
+//! Both run on the shared scan miter model (the same
+//! [`MiterBuilder`](cutelock_sat::MiterBuilder)-built model as
+//! [`crate::sat_attack`]); Double-DIP just adds a third key copy. Against
+//! Cute-Lock they fare no better than the exact attack: the approximate
+//! key AppSAT returns is still a *constant* key, so its error rate can
+//! never reach zero, and the run ends in a (labeled) approximate wrong
+//! key; Double-DIP's pair constraint just reaches the `CNS` dead end in
+//! fewer iterations.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use cutelock_core::{KeyValue, LockedCircuit};
-use cutelock_netlist::unroll::scan_view;
-use cutelock_netlist::NetId;
-use cutelock_sat::{tseitin, Lit, SatResult, Solver};
-use cutelock_sim::NetlistOracle;
+use cutelock_sat::SatResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::encode::{const_lit, model_values};
 use crate::outcome::verify_candidate_key;
+use crate::scan::ScanModel;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
 /// Settings specific to AppSAT.
@@ -53,143 +51,13 @@ impl Default for AppSatConfig {
     }
 }
 
-/// Shared scan-view attack state for the two variants.
-struct ScanModel<'a> {
-    locked: &'a LockedCircuit,
-    sv: cutelock_netlist::unroll::ScanView,
-    data_inputs: Vec<NetId>,
-    shared_ffs: Vec<usize>,
-    solver: Solver,
-    k1: Vec<Lit>,
-    k2: Vec<Lit>,
-    xs: Vec<Lit>,
-    ss: Vec<Lit>,
-    obs1: Vec<Lit>,
-    obs2: Vec<Lit>,
-    oracle: NetlistOracle,
-}
-
-impl<'a> ScanModel<'a> {
-    fn new(locked: &'a LockedCircuit, budget: &AttackBudget) -> Option<Self> {
-        let ki = locked.netlist.key_inputs().len();
-        if ki == 0 {
-            return None;
-        }
-        let sv = scan_view(&locked.netlist).ok()?;
-        let oracle = NetlistOracle::new(locked.original.clone()).ok()?;
-        let orig_q: Vec<String> = locked
-            .original
-            .dffs()
-            .iter()
-            .map(|ff| locked.original.net_name(ff.q()).to_string())
-            .collect();
-        let locked_q: Vec<String> = locked
-            .netlist
-            .dffs()
-            .iter()
-            .map(|ff| locked.netlist.net_name(ff.q()).to_string())
-            .collect();
-        let shared_ffs: Vec<usize> = orig_q
-            .iter()
-            .map(|name| locked_q.iter().position(|n| n == name).expect("shared FF"))
-            .collect();
-        let mut solver = Solver::new();
-        solver.set_conflict_budget(budget.conflict_budget);
-        let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-        let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-        let data_inputs = locked.netlist.data_inputs();
-        let xs: Vec<Lit> = (0..data_inputs.len())
-            .map(|_| Lit::positive(solver.new_var()))
-            .collect();
-        let ss: Vec<Lit> = (0..locked.netlist.dff_count())
-            .map(|_| Lit::positive(solver.new_var()))
-            .collect();
-        let mut model = Self {
-            locked,
-            sv,
-            data_inputs,
-            shared_ffs,
-            solver,
-            k1,
-            k2,
-            xs,
-            ss,
-            obs1: Vec::new(),
-            obs2: Vec::new(),
-            oracle,
-        };
-        let k1c = model.k1.clone();
-        let k2c = model.k2.clone();
-        let xsc = model.xs.clone();
-        let ssc = model.ss.clone();
-        let (po1, ns1) = model.encode_copy(&k1c, &xsc, &ssc);
-        let (po2, ns2) = model.encode_copy(&k2c, &xsc, &ssc);
-        model.obs1 = po1.into_iter().chain(ns1).collect();
-        model.obs2 = po2.into_iter().chain(ns2).collect();
-        Some(model)
-    }
-
-    fn sv_net(&self, id: NetId) -> NetId {
-        self.sv
-            .netlist
-            .find_net(self.locked.netlist.net_name(id))
-            .expect("net present in scan view")
-    }
-
-    /// Encodes one copy; returns `(po lits, shared next-state lits)`.
-    fn encode_copy(&mut self, keys: &[Lit], xs: &[Lit], ss: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
-        let mut map: HashMap<NetId, Lit> = HashMap::new();
-        for (&kid, &l) in self.locked.netlist.key_inputs().iter().zip(keys) {
-            map.insert(self.sv_net(kid), l);
-        }
-        for (&did, &l) in self.data_inputs.clone().iter().zip(xs) {
-            map.insert(self.sv_net(did), l);
-        }
-        for (&sid, &l) in self.sv.state_inputs.clone().iter().zip(ss) {
-            map.insert(sid, l);
-        }
-        let cnf = tseitin::encode(&self.sv.netlist, &mut self.solver, &map).expect("combinational");
-        let pos: Vec<Lit> = self
-            .locked
-            .netlist
-            .outputs()
-            .iter()
-            .map(|&o| cnf.lit(self.sv_net(o)))
-            .collect();
-        let next: Vec<Lit> = self
-            .shared_ffs
-            .iter()
-            .map(|&f| cnf.lit(self.sv.next_state_outputs[f]))
-            .collect();
-        (pos, next)
-    }
-
-    /// Adds oracle-consistency constraints for one scan pattern, for both
-    /// key copies.
-    fn constrain_pattern(&mut self, x: &[bool], s: &[bool]) {
-        let s_shared: Vec<bool> = self.shared_ffs.iter().map(|&f| s[f]).collect();
-        let (y, s_next) = self.oracle.scan_query(&s_shared, x);
-        for keys in [self.k1.clone(), self.k2.clone()] {
-            let xc: Vec<Lit> = x.iter().map(|&b| const_lit(&mut self.solver, b)).collect();
-            let sc: Vec<Lit> = s.iter().map(|&b| const_lit(&mut self.solver, b)).collect();
-            let (pos, next) = self.encode_copy(&keys, &xc, &sc);
-            for (&p, &v) in pos.iter().zip(&y) {
-                self.solver.add_clause(&[if v { p } else { !p }]);
-            }
-            for (&p, &v) in next.iter().zip(&s_next) {
-                self.solver.add_clause(&[if v { p } else { !p }]);
-            }
-        }
-    }
-
-    /// Estimated error rate of candidate `key` over random stimulus,
-    /// via the 64-lane batched miter: `queries` cycles × 64 lanes of
-    /// samples per call instead of one scalar sequence.
-    fn estimate_error(&mut self, key: &KeyValue, queries: usize, rng: &mut StdRng) -> f64 {
-        self.locked
-            .wide_corruption_rate(key, queries, rng.next_u64())
-            .unwrap_or(1.0)
-    }
+/// Estimated error rate of candidate `key` over random stimulus, via the
+/// 64-lane batched miter: `queries` cycles × 64 lanes of samples per call
+/// instead of one scalar sequence.
+fn estimate_error(locked: &LockedCircuit, key: &KeyValue, queries: usize, rng: &mut StdRng) -> f64 {
+    locked
+        .wide_corruption_rate(key, queries, rng.next_u64())
+        .unwrap_or(1.0)
 }
 
 /// Runs AppSAT on `locked`.
@@ -209,22 +77,22 @@ pub fn appsat_attack(
         iterations,
         bound: 1,
     };
-    let Some(mut m) = ScanModel::new(locked, budget) else {
+    let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
     let mut rng = StdRng::seed_from_u64(0xa995a7);
-    let diff = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
+    let diff = m.obs_differ();
     // Retractable DIP-hunt constraint (see `sat_attack`): the final
     // extraction reuses the same live solver once the scope is popped.
-    m.solver.push_scope();
-    m.solver.add_scoped_clause(&[diff]);
+    m.solver().push_scope();
+    m.solver().add_scoped_clause(&[diff]);
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
-        m.solver.set_timeout(Some(rem));
-        match m.solver.solve_scoped(&[]) {
+        m.solver().set_timeout(Some(rem));
+        match m.solver().solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -232,16 +100,16 @@ pub fn appsat_attack(
                 if iterations > budget.max_iterations {
                     return mk(AttackOutcome::Timeout, iterations);
                 }
-                let x = model_values(&m.solver, &m.xs);
-                let s = model_values(&m.solver, &m.ss);
+                let x = m.values(&m.xs);
+                let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
-                if m.solver.solve() == SatResult::Unsat {
+                if m.solver().solve() == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
                 // Settle phase: estimate the current candidate's error.
                 if iterations % config.settle_every == 0 {
-                    let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
-                    let err = m.estimate_error(&cand, config.queries, &mut rng);
+                    let cand = KeyValue::from_bits(m.values(&m.k1));
+                    let err = estimate_error(locked, &cand, config.queries, &mut rng);
                     if err <= config.error_threshold {
                         return if verify_candidate_key(locked, &cand, 256, 0xa1) {
                             mk(AttackOutcome::KeyFound(cand), iterations)
@@ -253,12 +121,12 @@ pub fn appsat_attack(
             }
         }
     }
-    m.solver.pop_scope();
-    match m.solver.solve() {
+    m.solver().pop_scope();
+    match m.solver().solve() {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {
-            let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
+            let cand = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &cand, 256, 0xa2) {
                 mk(AttackOutcome::KeyFound(cand), iterations)
             } else {
@@ -280,32 +148,26 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
         iterations,
         bound: 1,
     };
-    let Some(mut m) = ScanModel::new(locked, budget) else {
+    let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
     // Third key copy sharing the same inputs.
-    let ki = m.k1.len();
-    let k3: Vec<Lit> = (0..ki).map(|_| Lit::positive(m.solver.new_var())).collect();
-    let (po3, ns3) = {
-        let xs = m.xs.clone();
-        let ss = m.ss.clone();
-        m.encode_copy(&k3, &xs, &ss)
-    };
-    let obs3: Vec<Lit> = po3.into_iter().chain(ns3).collect();
-    let d12 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &m.obs2.clone());
-    let d13 = tseitin::encode_vectors_differ(&mut m.solver, &m.obs1.clone(), &obs3);
+    let (k3, f3) = m.add_key_copy();
+    let d12 = m.obs_differ();
+    let (f1, obs3) = (m.f1.clone(), f3);
+    let d13 = m.m.obs_differ(&f1, &obs3);
 
     // Phase 1 scope: demand a *double* DIP (both miters differ).
-    m.solver.push_scope();
-    m.solver.add_scoped_clause(&[d12]);
-    m.solver.add_scoped_clause(&[d13]);
+    m.solver().push_scope();
+    m.solver().add_scoped_clause(&[d12]);
+    m.solver().add_scoped_clause(&[d13]);
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
-        m.solver.set_timeout(Some(rem));
-        match m.solver.solve_scoped(&[]) {
+        m.solver().set_timeout(Some(rem));
+        match m.solver().solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -313,41 +175,30 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
                 if iterations > budget.max_iterations {
                     return mk(AttackOutcome::Timeout, iterations);
                 }
-                let x = model_values(&m.solver, &m.xs);
-                let s = model_values(&m.solver, &m.ss);
-                m.constrain_pattern(&x, &s);
-                // Keep the third copy consistent too.
-                {
-                    let s_shared: Vec<bool> = m.shared_ffs.iter().map(|&f| s[f]).collect();
-                    let (y, s_next) = m.oracle.scan_query(&s_shared, &x);
-                    let xc: Vec<Lit> = x.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
-                    let sc: Vec<Lit> = s.iter().map(|&b| const_lit(&mut m.solver, b)).collect();
-                    let (pos, next) = m.encode_copy(&k3.clone(), &xc, &sc);
-                    for (&p, &v) in pos.iter().zip(&y) {
-                        m.solver.add_clause(&[if v { p } else { !p }]);
-                    }
-                    for (&p, &v) in next.iter().zip(&s_next) {
-                        m.solver.add_clause(&[if v { p } else { !p }]);
-                    }
-                }
-                if m.solver.solve() == SatResult::Unsat {
+                let x = m.values(&m.xs);
+                let s = m.values(&m.ss);
+                // One oracle query constrains all three key copies (the
+                // third must stay consistent too).
+                let (k1, k2) = (m.k1.clone(), m.k2.clone());
+                m.constrain_pattern_for(&[&k1, &k2, &k3], &x, &s);
+                if m.solver().solve() == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
             }
         }
     }
-    m.solver.pop_scope();
+    m.solver().pop_scope();
     // Fall back to the single-miter termination: no pair of distinguishable
     // keys remains at all, or only double-DIPs are exhausted. Phase 2
     // scope: a plain single-miter DIP.
-    m.solver.push_scope();
-    m.solver.add_scoped_clause(&[d12]);
+    m.solver().push_scope();
+    m.solver().add_scoped_clause(&[d12]);
     loop {
         let Some(rem) = budget.remaining(start) else {
             return mk(AttackOutcome::Timeout, iterations);
         };
-        m.solver.set_timeout(Some(rem));
-        match m.solver.solve_scoped(&[]) {
+        m.solver().set_timeout(Some(rem));
+        match m.solver().solve_scoped(&[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -355,21 +206,21 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
                 if iterations > budget.max_iterations {
                     return mk(AttackOutcome::Timeout, iterations);
                 }
-                let x = model_values(&m.solver, &m.xs);
-                let s = model_values(&m.solver, &m.ss);
+                let x = m.values(&m.xs);
+                let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
-                if m.solver.solve() == SatResult::Unsat {
+                if m.solver().solve() == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
             }
         }
     }
-    m.solver.pop_scope();
-    match m.solver.solve() {
+    m.solver().pop_scope();
+    match m.solver().solve() {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {
-            let cand = KeyValue::from_bits(model_values(&m.solver, &m.k1));
+            let cand = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &cand, 256, 0xdd) {
                 mk(AttackOutcome::KeyFound(cand), iterations)
             } else {

@@ -19,27 +19,29 @@
 //! consistent — the solver proves the attack's own model unsatisfiable and
 //! the run ends in [`AttackOutcome::Cns`].
 //!
-//! All modes now share one **persistent incremental solver**: frames are
-//! appended as the bound grows, the per-bound "some output differs"
-//! constraint lives in a retractable [`Solver`] scope
-//! ([`Solver::push_scope`] / [`Solver::pop_scope`]), and oracle/DIP
-//! constraints are asserted permanently — so learnt clauses survive across
-//! bounds and iterations. [`BmcMode::Bbo`] and [`BmcMode::Int`] differ only
-//! in lineage (NEOS's `bbo` historically re-solved from scratch per bound);
-//! the legacy rebuild-per-bound path is kept as [`BmcMode::BboRebuild`]
-//! purely so the `attacks` criterion bench can measure the incremental
-//! speedup. KC2 adds key-bit fixation on top — see [`crate::kc2`].
+//! All frame encoding happens through the unified
+//! [`MiterBuilder`] engine: each clock cycle of each
+//! miter copy is one [`MiterBuilder::frame`] call, with the next-state
+//! literals threaded into the following frame. All modes share one
+//! **persistent incremental solver**: frames are appended as the bound
+//! grows, the per-bound "some output differs" constraint lives in a
+//! retractable [`Solver`] scope ([`Solver::push_scope`] /
+//! [`Solver::pop_scope`]), and oracle/DIP constraints are asserted
+//! permanently — so learnt clauses survive across bounds and iterations.
+//! [`BmcMode::Bbo`] and [`BmcMode::Int`] differ only in lineage (NEOS's
+//! `bbo` historically re-solved from scratch per bound); the legacy
+//! rebuild-per-bound path is kept as [`BmcMode::BboRebuild`] purely so the
+//! `attacks` criterion bench can measure the incremental speedup. KC2 adds
+//! key-bit fixation on top — see [`crate::kc2`].
 
-use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_netlist::unroll::{scan_view, ScanView};
-use cutelock_netlist::NetId;
-use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sat::{CircuitEncoder, Lit, MiterBuilder, PortVals, SatResult, Solver};
 use cutelock_sim::{NetlistOracle, SequentialOracle};
 
-use crate::encode::{const_lit, model_values};
 use crate::outcome::verify_candidate_key;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
@@ -85,7 +87,7 @@ pub fn int_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport
     Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Int)
 }
 
-/// One encoded copy-chain's per-frame literals.
+/// One miter copy's per-frame literals.
 struct Chain {
     /// Data-input literals per frame (only kept for the first copy).
     xs: Vec<Vec<Lit>>,
@@ -99,9 +101,17 @@ struct Chain {
 /// output vectors.
 type DipTrace = (Vec<Vec<bool>>, Vec<Vec<bool>>);
 
-/// Incremental-mode solver state: solver, the two key-literal vectors, both
-/// miter chains, and the shared secret-initial-state literals (if any).
-type IncState = (Solver, Vec<Lit>, Vec<Lit>, Chain, Chain, Option<Vec<Lit>>);
+/// Incremental-mode state: the miter (owning the solver), the two
+/// key-literal vectors, both chains, and the shared secret-initial-state
+/// literals (if any).
+struct IncState {
+    m: MiterBuilder,
+    k1: Vec<Lit>,
+    k2: Vec<Lit>,
+    c1: Chain,
+    c2: Chain,
+    secret: Option<Vec<Lit>>,
+}
 
 /// The shared DIP-loop engine (also used by [`crate::kc2`] and
 /// [`crate::rane`]).
@@ -111,8 +121,9 @@ pub(crate) struct Engine<'a> {
     init: InitModel,
     /// KC2 extension: probe and fix implied key bits after each iteration.
     fix_key_bits: bool,
-    sv: ScanView,
-    data_inputs: Vec<NetId>,
+    /// Shared so the legacy rebuild mode can restart from a fresh miter
+    /// without re-deriving (or deep-copying) the view per bound.
+    sv: Rc<ScanView>,
     start: Instant,
     iterations: usize,
 }
@@ -124,15 +135,13 @@ impl<'a> Engine<'a> {
         init: InitModel,
         fix_key_bits: bool,
     ) -> Self {
-        let sv = scan_view(&locked.netlist).expect("locked netlist is well-formed");
-        let data_inputs = locked.netlist.data_inputs();
+        let sv = Rc::new(scan_view(&locked.netlist).expect("locked netlist is well-formed"));
         Self {
             locked,
             budget,
             init,
             fix_key_bits,
             sv,
-            data_inputs,
             start: Instant::now(),
             iterations: 0,
         }
@@ -151,81 +160,53 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Looks up the scan-view net corresponding to a locked-netlist net.
-    fn sv_net(&self, id: NetId) -> NetId {
-        self.sv
-            .netlist
-            .find_net(self.locked.netlist.net_name(id))
-            .expect("net present in scan view")
-    }
-
-    /// Encodes one frame (one copy) of the scan view.
-    ///
-    /// * `keys` — literals for the key port;
-    /// * `state_in` — literals for the flip-flop pseudo-inputs;
-    /// * `x_vals` — constants for the data inputs (fresh variables if
-    ///   `None`);
-    /// * `x_shared` — pre-existing data-input literals (shared miter
-    ///   inputs); overrides `x_vals`.
-    ///
-    /// Returns `(data input lits, primary output lits, next-state lits)`.
-    fn encode_frame(
-        &self,
-        solver: &mut Solver,
-        keys: &[Lit],
-        state_in: &[Lit],
-        x_vals: Option<&[bool]>,
-        x_shared: Option<&[Lit]>,
-    ) -> (Vec<Lit>, Vec<Lit>, Vec<Lit>) {
-        let mut shared: HashMap<NetId, Lit> = HashMap::new();
-        for (&kid, &l) in self.locked.netlist.key_inputs().iter().zip(keys) {
-            shared.insert(self.sv_net(kid), l);
+    /// A fresh miter over the scan view with keys, optional secret initial
+    /// state, and empty frame chains — the bound-0 state of a run.
+    fn fresh_state(&self) -> IncState {
+        let mut m = MiterBuilder::new(Rc::clone(&self.sv), &[]);
+        m.enc
+            .solver
+            .set_conflict_budget(self.budget.conflict_budget);
+        let k1 = m.fresh_keys();
+        let k2 = m.fresh_keys();
+        let secret: Option<Vec<Lit>> = (self.init == InitModel::Secret)
+            .then(|| m.enc.fresh_lits(self.locked.netlist.dff_count()));
+        let init = self.init_state(&mut m.enc, secret.as_deref());
+        let c1 = Chain {
+            xs: Vec::new(),
+            pos: Vec::new(),
+            state: init.clone(),
+        };
+        let c2 = Chain {
+            xs: Vec::new(),
+            pos: Vec::new(),
+            state: init,
+        };
+        IncState {
+            m,
+            k1,
+            k2,
+            c1,
+            c2,
+            secret,
         }
-        let mut xlits = Vec::with_capacity(self.data_inputs.len());
-        for (i, &did) in self.data_inputs.iter().enumerate() {
-            let lit = if let Some(xs) = x_shared {
-                xs[i]
-            } else if let Some(vals) = x_vals {
-                const_lit(solver, vals[i])
-            } else {
-                Lit::positive(solver.new_var())
-            };
-            shared.insert(self.sv_net(did), lit);
-            xlits.push(lit);
-        }
-        for (&sid, &l) in self.sv.state_inputs.iter().zip(state_in) {
-            shared.insert(sid, l);
-        }
-        let cnf =
-            tseitin::encode(&self.sv.netlist, solver, &shared).expect("scan view is combinational");
-        let pos: Vec<Lit> = self
-            .locked
-            .netlist
-            .outputs()
-            .iter()
-            .map(|&o| cnf.lit(self.sv_net(o)))
-            .collect();
-        let next: Vec<Lit> = self
-            .sv
-            .next_state_outputs
-            .iter()
-            .map(|&n| cnf.lit(n))
-            .collect();
-        (xlits, pos, next)
     }
 
     /// Initial-state literals for a fresh chain: the RANE secret variables
     /// when provided, otherwise reset constants.
-    fn init_state(&self, solver: &mut Solver, secret: Option<&[Lit]>) -> Vec<Lit> {
+    fn init_state(&self, enc: &mut CircuitEncoder, secret: Option<&[Lit]>) -> Vec<Lit> {
         match (self.init, secret) {
             (InitModel::Secret, Some(s0)) => s0.to_vec(),
-            _ => self
-                .locked
-                .netlist
-                .dffs()
-                .iter()
-                .map(|ff| const_lit(solver, ff.init().unwrap_or(false)))
-                .collect(),
+            _ => {
+                let bits: Vec<bool> = self
+                    .locked
+                    .netlist
+                    .dffs()
+                    .iter()
+                    .map(|ff| ff.init().unwrap_or(false))
+                    .collect();
+                enc.lits_const(&bits)
+            }
         }
     }
 
@@ -233,7 +214,7 @@ impl<'a> Engine<'a> {
     /// sequence: both key copies must reproduce the oracle outputs.
     fn add_dip_constraints(
         &self,
-        solver: &mut Solver,
+        m: &mut MiterBuilder,
         k1: &[Lit],
         k2: &[Lit],
         secret: Option<&[Lit]>,
@@ -241,13 +222,13 @@ impl<'a> Engine<'a> {
         oracle_out: &[Vec<bool>],
     ) {
         for keys in [k1, k2] {
-            let mut state = self.init_state(solver, secret);
+            let mut state = self.init_state(&mut m.enc, secret);
             for (xs, ys) in xseq.iter().zip(oracle_out) {
-                let (_, pos, next) = self.encode_frame(solver, keys, &state, Some(xs), None);
-                for (&p, &y) in pos.iter().zip(ys) {
-                    solver.add_clause(&[if y { p } else { !p }]);
-                }
-                state = next;
+                let f = m
+                    .frame(keys, PortVals::Shared(&state), PortVals::Const(xs))
+                    .expect("scan view encodes");
+                m.enc.pin(&f.outputs, ys);
+                state = f.next_state;
             }
         }
     }
@@ -298,52 +279,47 @@ impl<'a> Engine<'a> {
         // the legacy rebuild mode, where the solver is torn down per bound).
         let mut dips: Vec<DipTrace> = Vec::new();
 
-        // Solver state: (solver, k1, k2, chain1, chain2, secret-state vars).
         let mut inc: Option<IncState> = None;
         let mut diff_lits: Vec<Lit> = Vec::new();
         let mut fixed: Vec<Option<bool>> = vec![None; ki];
 
         for bound in 1..=self.budget.max_bound {
             if mode == BmcMode::BboRebuild || inc.is_none() {
-                let mut solver = Solver::new();
-                solver.set_conflict_budget(self.budget.conflict_budget);
-                let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-                let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-                let secret: Option<Vec<Lit>> = (self.init == InitModel::Secret).then(|| {
-                    (0..self.locked.netlist.dff_count())
-                        .map(|_| Lit::positive(solver.new_var()))
-                        .collect()
-                });
-                let init = self.init_state(&mut solver, secret.as_deref());
-                let c1 = Chain {
-                    xs: Vec::new(),
-                    pos: Vec::new(),
-                    state: init.clone(),
-                };
-                let c2 = Chain {
-                    xs: Vec::new(),
-                    pos: Vec::new(),
-                    state: init,
-                };
+                let mut st = self.fresh_state();
                 for (xseq, ys) in &dips {
-                    self.add_dip_constraints(&mut solver, &k1, &k2, secret.as_deref(), xseq, ys);
+                    self.add_dip_constraints(
+                        &mut st.m,
+                        &st.k1,
+                        &st.k2,
+                        st.secret.as_deref(),
+                        xseq,
+                        ys,
+                    );
                 }
                 diff_lits.clear();
-                inc = Some((solver, k1, k2, c1, c2, secret));
+                inc = Some(st);
             }
-            let (solver, k1, k2, c1, c2, secret) = inc.as_mut().expect("just built");
+            let st = inc.as_mut().expect("just built");
 
-            // Extend the miter up to `bound` frames.
-            while c1.pos.len() < bound {
-                let (x, po1, st1) = self.encode_frame(solver, k1, &c1.state, None, None);
-                let (_, po2, st2) = self.encode_frame(solver, k2, &c2.state, None, Some(&x));
-                c1.xs.push(x);
-                c1.pos.push(po1);
-                c1.state = st1;
-                c2.pos.push(po2);
-                c2.state = st2;
-                let t = c1.pos.len() - 1;
-                let d = tseitin::encode_vectors_differ(solver, &c1.pos[t], &c2.pos[t]);
+            // Extend the miter up to `bound` frames: fresh shared data
+            // inputs per frame, state threaded from the previous frame.
+            while st.c1.pos.len() < bound {
+                let f1 =
+                    st.m.frame(&st.k1, PortVals::Shared(&st.c1.state), PortVals::Fresh)
+                        .expect("scan view encodes");
+                let f2 =
+                    st.m.frame(
+                        &st.k2,
+                        PortVals::Shared(&st.c2.state),
+                        PortVals::Shared(&f1.xs),
+                    )
+                    .expect("scan view encodes");
+                let d = st.m.enc.differ(&f1.outputs, &f2.outputs);
+                st.c1.xs.push(f1.xs);
+                st.c1.pos.push(f1.outputs);
+                st.c1.state = f1.next_state;
+                st.c2.pos.push(f2.outputs);
+                st.c2.state = f2.next_state;
                 diff_lits.push(d);
             }
 
@@ -353,14 +329,14 @@ impl<'a> Engine<'a> {
             // bound instead of one dead activation clause per iteration,
             // and the solver (with everything it learnt) stays live for the
             // candidate-key extraction and the next bound.
-            solver.push_scope();
-            solver.add_scoped_clause(&diff_lits);
+            st.m.enc.solver.push_scope();
+            st.m.enc.solver.add_scoped_clause(&diff_lits);
             loop {
                 let Some(rem) = self.remaining() else {
                     return self.report(AttackOutcome::Timeout, bound);
                 };
-                solver.set_timeout(Some(rem));
-                match solver.solve_scoped(&[]) {
+                st.m.enc.solver.set_timeout(Some(rem));
+                match st.m.enc.solver.solve_scoped(&[]) {
                     SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
                     SatResult::Unsat => break, // no DIS at this bound
                     SatResult::Sat => {
@@ -368,35 +344,45 @@ impl<'a> Engine<'a> {
                         if self.iterations > self.budget.max_iterations {
                             return self.report(AttackOutcome::Timeout, bound);
                         }
-                        let xseq: Vec<Vec<bool>> = c1
+                        let xseq: Vec<Vec<bool>> = st
+                            .c1
                             .xs
                             .iter()
-                            .map(|frame| model_values(solver, frame))
+                            .map(|frame| st.m.enc.values(frame))
                             .collect();
                         oracle.reset();
                         let ys: Vec<Vec<bool>> = xseq.iter().map(|x| oracle.step(x)).collect();
-                        self.add_dip_constraints(solver, k1, k2, secret.as_deref(), &xseq, &ys);
+                        self.add_dip_constraints(
+                            &mut st.m,
+                            &st.k1,
+                            &st.k2,
+                            st.secret.as_deref(),
+                            &xseq,
+                            &ys,
+                        );
                         if mode == BmcMode::BboRebuild {
                             dips.push((xseq, ys));
                         }
-                        if self.fix_key_bits && self.crunch_key_bits(solver, k1, &mut fixed) {
+                        if self.fix_key_bits
+                            && self.crunch_key_bits(&mut st.m.enc.solver, &st.k1, &mut fixed)
+                        {
                             return self.report(AttackOutcome::Timeout, bound);
                         }
                         // Consistency: does any constant key remain?
-                        if solver.solve() == SatResult::Unsat {
+                        if st.m.enc.solver.solve() == SatResult::Unsat {
                             return self.report(AttackOutcome::Cns, bound);
                         }
                     }
                 }
             }
-            solver.pop_scope();
+            st.m.enc.solver.pop_scope();
 
             // No DIS at this bound: extract and verify a candidate key.
-            match solver.solve() {
+            match st.m.enc.solver.solve() {
                 SatResult::Unsat => return self.report(AttackOutcome::Cns, bound),
                 SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
                 SatResult::Sat => {
-                    let key = KeyValue::from_bits(model_values(solver, k1));
+                    let key = KeyValue::from_bits(st.m.enc.values(&st.k1));
                     if verify_candidate_key(self.locked, &key, 256, 0xd1f) {
                         return self.report(AttackOutcome::KeyFound(key), bound);
                     }

@@ -4,15 +4,16 @@
 //! samples; this module *proves*, by SAT, that the locked circuit driven
 //! with the correct key schedule is equivalent to the original for **all**
 //! input sequences up to a bounded number of cycles from reset — and,
-//! dually, that a given wrong key provably corrupts some sequence.
-
-use std::collections::HashMap;
+//! dually, that a given wrong key provably corrupts some sequence. The
+//! unrolled two-circuit instance is lowered through
+//! [`CircuitEncoder::encode_unrolled`], the same engine the attacks use,
+//! and backs the `cutelock verify` CLI subcommand.
 
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_netlist::unroll::{unroll, InitState, KeySharing};
 use cutelock_netlist::NetlistError;
 use cutelock_sat::equiv::EquivResult;
-use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sat::{Binding, CircuitEncoder, Lit, SatResult};
 
 /// Proves bounded equivalence of `locked` (keys driven by the correct
 /// schedule) against its original, for all input sequences of `frames`
@@ -78,37 +79,32 @@ fn check_key_feed(
     key_of: impl Fn(usize) -> KeyValue,
 ) -> Result<KeyFeedResult, NetlistError> {
     assert!(frames > 0);
-    let ul = unroll(
+    let mut enc = CircuitEncoder::new();
+    enc.solver.set_conflict_budget(conflict_budget);
+    let (ul, cnf_l) = enc.encode_unrolled(
         &locked.netlist,
         frames,
         InitState::FromInit,
         KeySharing::PerFrame,
+        &Binding::new(),
     )?;
+    // Pin the locked key port to the fed key, frame by frame.
+    for (t, keys) in ul.frame_keys.iter().enumerate() {
+        let kv = key_of(t);
+        enc.pin(&cnf_l.lits(keys), kv.bits());
+    }
+    // Share the data inputs positionally.
     let uo = unroll(
         &locked.original,
         frames,
         InitState::FromInit,
         KeySharing::Shared,
     )?;
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(conflict_budget);
-    let cnf_l = tseitin::encode(&ul.netlist, &mut solver, &HashMap::new())?;
-    // Pin the locked key port to the fed key, frame by frame.
-    for (t, keys) in ul.frame_keys.iter().enumerate() {
-        let kv = key_of(t);
-        for (&kid, &bit) in keys.iter().zip(kv.bits()) {
-            let l = cnf_l.lit(kid);
-            solver.add_clause(&[if bit { l } else { !l }]);
-        }
-    }
-    // Share the data inputs positionally.
-    let mut shared: HashMap<_, _> = HashMap::new();
+    let mut shared = Binding::new();
     for t in 0..frames {
-        for (&oi, &li) in uo.frame_inputs[t].iter().zip(&ul.frame_inputs[t]) {
-            shared.insert(oi, cnf_l.lit(li));
-        }
+        shared.bind_all(&uo.frame_inputs[t], &cnf_l.lits(&ul.frame_inputs[t]));
     }
-    let cnf_o = tseitin::encode(&uo.netlist, &mut solver, &shared)?;
+    let cnf_o = enc.encode(&uo.netlist, &shared)?;
     let lo: Vec<Lit> = ul
         .frame_outputs
         .iter()
@@ -121,19 +117,14 @@ fn check_key_feed(
         .flatten()
         .map(|&o| cnf_o.lit(o))
         .collect();
-    let diff = tseitin::encode_vectors_differ(&mut solver, &lo, &oo);
-    solver.add_clause(&[diff]);
-    Ok(match solver.solve() {
+    let diff = enc.differ(&lo, &oo);
+    enc.solver.add_clause(&[diff]);
+    Ok(match enc.solver.solve() {
         SatResult::Unsat => KeyFeedResult::NeverDiffers,
         SatResult::Unknown => KeyFeedResult::Unknown,
         SatResult::Sat => {
             let cex: Vec<Vec<bool>> = (0..frames)
-                .map(|t| {
-                    ul.frame_inputs[t]
-                        .iter()
-                        .map(|&i| solver.lit_value(cnf_l.lit(i)).unwrap_or(false))
-                        .collect()
-                })
+                .map(|t| enc.values(&cnf_l.lits(&ul.frame_inputs[t])))
                 .collect();
             KeyFeedResult::Differs(cex)
         }

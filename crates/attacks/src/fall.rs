@@ -29,9 +29,8 @@ use std::time::{Duration, Instant};
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_netlist::unroll::scan_view;
 use cutelock_netlist::{Driver, GateKind, NetId, Netlist};
-use cutelock_sat::{tseitin, Lit, SatResult, Solver};
+use cutelock_sat::{Binding, CircuitEncoder, SatResult};
 
-use crate::encode::const_lit;
 use crate::outcome::verify_candidate_key;
 use crate::{AttackBudget, AttackOutcome};
 
@@ -241,24 +240,25 @@ fn confirm_key(
     cand: &KeyValue,
     remaining: std::time::Duration,
 ) -> bool {
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(Some(200_000));
-    solver.set_timeout(Some(remaining));
+    let mut enc = CircuitEncoder::new();
+    enc.solver.set_conflict_budget(Some(200_000));
+    enc.solver.set_timeout(Some(remaining));
     // Copy A: keys bound to candidate.
-    let mut shared_a: HashMap<NetId, Lit> = HashMap::new();
+    let mut binding_a = Binding::new();
     for (&k, &b) in nl.key_inputs().iter().zip(cand.bits()) {
-        shared_a.insert(k, const_lit(&mut solver, b));
+        let l = enc.lit_const(b);
+        binding_a.bind(k, l);
     }
     // Shared data inputs between copies.
-    let mut data_lits: HashMap<NetId, Lit> = HashMap::new();
-    for &inp in &nl.inputs().to_vec() {
+    let mut data_lits = Vec::new();
+    for &inp in nl.inputs() {
         if !nl.key_inputs().contains(&inp) {
-            let l = Lit::positive(solver.new_var());
-            shared_a.insert(inp, l);
-            data_lits.insert(inp, l);
+            let l = enc.fresh_lit();
+            binding_a.bind(inp, l);
+            data_lits.push((inp, l));
         }
     }
-    let Ok(cnf_a) = tseitin::encode(nl, &mut solver, &shared_a) else {
+    let Ok(cnf_a) = enc.encode(nl, &binding_a) else {
         return false;
     };
 
@@ -269,22 +269,23 @@ fn confirm_key(
         .expect("fresh const");
     let _ = modified.replace_uses(strip_root, z);
     let _ = modified.replace_uses(restore_root, z);
-    let mut shared_b: HashMap<NetId, Lit> = HashMap::new();
+    let mut binding_b = Binding::new();
     for (&k, &b) in modified.key_inputs().iter().zip(cand.bits()) {
-        shared_b.insert(k, const_lit(&mut solver, b));
+        let l = enc.lit_const(b);
+        binding_b.bind(k, l);
     }
-    for (&inp, &l) in &data_lits {
-        shared_b.insert(inp, l);
+    for &(inp, l) in &data_lits {
+        binding_b.bind(inp, l);
     }
-    let Ok(cnf_b) = tseitin::encode(&modified, &mut solver, &shared_b) else {
+    let Ok(cnf_b) = enc.encode(&modified, &binding_b) else {
         return false;
     };
 
-    let oa: Vec<Lit> = nl.outputs().iter().map(|&o| cnf_a.lit(o)).collect();
-    let ob: Vec<Lit> = modified.outputs().iter().map(|&o| cnf_b.lit(o)).collect();
-    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
-    solver.add_clause(&[diff]);
-    solver.solve() == SatResult::Unsat
+    let oa = cnf_a.lits(nl.outputs());
+    let ob = cnf_b.lits(modified.outputs());
+    let diff = enc.differ(&oa, &ob);
+    enc.solver.add_clause(&[diff]);
+    enc.solver.solve() == SatResult::Unsat
 }
 
 #[cfg(test)]

@@ -26,6 +26,15 @@
 //! including the oracle-less [`fall`] and [`dana`] — enforces
 //! [`AttackBudget::timeout`] as a hard wall-clock deadline.
 //!
+//! None of these modules touch CNF directly: every miter — the scan-access
+//! two-copy model, the frame-appending BMC chains, FALL's confirmation
+//! check, and the certifier's unrolled equivalence instances — is built
+//! through the unified encoding engine in
+//! [`cutelock_sat::encode`]
+//! ([`CircuitEncoder`](cutelock_sat::CircuitEncoder) /
+//! [`MiterBuilder`](cutelock_sat::MiterBuilder)), so the modules here
+//! contain DIP-loop logic only.
+//!
 //! # Example
 //!
 //! The oracle-less FALL attack breaks TTLock but finds nothing on
@@ -52,11 +61,11 @@ pub mod appsat;
 pub mod bmc;
 pub mod certify;
 pub mod dana;
-mod encode;
 pub mod fall;
 pub mod kc2;
 mod outcome;
 pub mod rane;
 pub mod sat_attack;
+mod scan;
 
 pub use outcome::{AttackBudget, AttackOutcome, AttackReport};

@@ -15,18 +15,19 @@
 //! to some time `t` and teaches the attacker that the constant key must
 //! equal `schedule[t]` — two DIPs with different times leave no consistent
 //! key and the attack ends in [`AttackOutcome::Cns`].
+//!
+//! The miter itself — two scan-view copies with private keys, shared
+//! inputs, and a retractable differ constraint — is built entirely by the
+//! unified [`MiterBuilder`](cutelock_sat::MiterBuilder) engine; this module
+//! is the DIP loop only.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use cutelock_core::{KeyValue, LockedCircuit};
-use cutelock_netlist::unroll::scan_view;
-use cutelock_netlist::NetId;
-use cutelock_sat::{tseitin, Lit, SatResult, Solver};
-use cutelock_sim::NetlistOracle;
+use cutelock_sat::SatResult;
 
-use crate::encode::{const_lit, model_values};
 use crate::outcome::verify_candidate_key;
+use crate::scan::ScanModel;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
 /// Runs the scan-access oracle-guided SAT attack on `locked`.
@@ -38,132 +39,23 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
         iterations,
         bound: 1,
     };
-    let ki = locked.netlist.key_inputs().len();
-    if ki == 0 {
+    let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return report(AttackOutcome::Fail, 0);
-    }
-    let sv = scan_view(&locked.netlist).expect("locked netlist is well-formed");
-    let mut oracle = NetlistOracle::new(locked.original.clone()).expect("oracle valid");
-
-    // Shared flip-flops: those whose q-net name exists in the original, in
-    // the original's flip-flop order (the oracle's scan-chain order).
-    let orig_q: Vec<String> = locked
-        .original
-        .dffs()
-        .iter()
-        .map(|ff| locked.original.net_name(ff.q()).to_string())
-        .collect();
-    let locked_q: Vec<String> = locked
-        .netlist
-        .dffs()
-        .iter()
-        .map(|ff| locked.netlist.net_name(ff.q()).to_string())
-        .collect();
-    // For each original FF, its index in the locked FF list.
-    let shared: Vec<usize> = orig_q
-        .iter()
-        .map(|name| {
-            locked_q
-                .iter()
-                .position(|n| n == name)
-                .expect("locking preserves functional flip-flops")
-        })
-        .collect();
-
-    let data_inputs = locked.netlist.data_inputs();
-    let sv_net = |id: NetId| -> NetId {
-        sv.netlist
-            .find_net(locked.netlist.net_name(id))
-            .expect("net present in scan view")
     };
-
-    // One scan-view copy: returns (po lits, shared-next-state lits).
-    #[allow(clippy::too_many_arguments)]
-    fn encode_copy(
-        solver: &mut Solver,
-        locked: &LockedCircuit,
-        sv: &cutelock_netlist::unroll::ScanView,
-        sv_net: &dyn Fn(NetId) -> NetId,
-        keys: &[Lit],
-        xs: &[Lit],
-        states: &[Lit],
-        data_inputs: &[NetId],
-        shared: &[usize],
-    ) -> (Vec<Lit>, Vec<Lit>) {
-        let mut map: HashMap<NetId, Lit> = HashMap::new();
-        for (&kid, &l) in locked.netlist.key_inputs().iter().zip(keys) {
-            map.insert(sv_net(kid), l);
-        }
-        for (&did, &l) in data_inputs.iter().zip(xs) {
-            map.insert(sv_net(did), l);
-        }
-        for (&sid, &l) in sv.state_inputs.iter().zip(states) {
-            map.insert(sid, l);
-        }
-        let cnf = tseitin::encode(&sv.netlist, solver, &map).expect("combinational");
-        let pos: Vec<Lit> = locked
-            .netlist
-            .outputs()
-            .iter()
-            .map(|&o| cnf.lit(sv_net(o)))
-            .collect();
-        let next: Vec<Lit> = shared
-            .iter()
-            .map(|&f| cnf.lit(sv.next_state_outputs[f]))
-            .collect();
-        (pos, next)
-    }
-
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(budget.conflict_budget);
-    let k1: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-    let k2: Vec<Lit> = (0..ki).map(|_| Lit::positive(solver.new_var())).collect();
-    let xs: Vec<Lit> = (0..data_inputs.len())
-        .map(|_| Lit::positive(solver.new_var()))
-        .collect();
-    let ss: Vec<Lit> = (0..locked.netlist.dff_count())
-        .map(|_| Lit::positive(solver.new_var()))
-        .collect();
-    let (po1, ns1) = encode_copy(
-        &mut solver,
-        locked,
-        &sv,
-        &sv_net,
-        &k1,
-        &xs,
-        &ss,
-        &data_inputs,
-        &shared,
-    );
-    let (po2, ns2) = encode_copy(
-        &mut solver,
-        locked,
-        &sv,
-        &sv_net,
-        &k2,
-        &xs,
-        &ss,
-        &data_inputs,
-        &shared,
-    );
-    let mut obs1 = po1;
-    obs1.extend(ns1);
-    let mut obs2 = po2;
-    obs2.extend(ns2);
-    let diff = tseitin::encode_vectors_differ(&mut solver, &obs1, &obs2);
+    let diff = m.obs_differ();
     // The "observations differ" constraint holds only during the DIP hunt:
     // keep it in a retractable scope so the final key-extraction solve runs
     // on the same live solver, unconstrained by the miter.
-    solver.push_scope();
-    solver.add_scoped_clause(&[diff]);
+    m.solver().push_scope();
+    m.solver().add_scoped_clause(&[diff]);
 
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
             return report(AttackOutcome::Timeout, iterations);
         };
-        solver.set_timeout(Some(rem));
-        match solver.solve_scoped(&[]) {
+        m.solver().set_timeout(Some(rem));
+        match m.solver().solve_scoped(&[]) {
             SatResult::Unknown => return report(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -171,47 +63,23 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
                 if iterations > budget.max_iterations {
                     return report(AttackOutcome::Timeout, iterations);
                 }
-                let x_dip = model_values(&solver, &xs);
-                let s_dip = model_values(&solver, &ss);
-                let s_shared: Vec<bool> = shared.iter().map(|&f| s_dip[f]).collect();
-                // Build the full oracle input vector in the original's
-                // declaration order (data inputs only — originals have no
-                // keys).
-                let (y, s_next) = oracle.scan_query(&s_shared, &x_dip);
-                // Constrain both key copies on this pattern.
-                for keys in [&k1, &k2] {
-                    let xc: Vec<Lit> = x_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
-                    let sc: Vec<Lit> = s_dip.iter().map(|&b| const_lit(&mut solver, b)).collect();
-                    let (pos, next) = encode_copy(
-                        &mut solver,
-                        locked,
-                        &sv,
-                        &sv_net,
-                        keys,
-                        &xc,
-                        &sc,
-                        &data_inputs,
-                        &shared,
-                    );
-                    for (&p, &v) in pos.iter().zip(&y) {
-                        solver.add_clause(&[if v { p } else { !p }]);
-                    }
-                    for (&p, &v) in next.iter().zip(&s_next) {
-                        solver.add_clause(&[if v { p } else { !p }]);
-                    }
-                }
-                if solver.solve() == SatResult::Unsat {
+                let x_dip = m.values(&m.xs);
+                let s_dip = m.values(&m.ss);
+                // Ask the oracle and constrain both key copies on this
+                // pattern.
+                m.constrain_pattern(&x_dip, &s_dip);
+                if m.solver().solve() == SatResult::Unsat {
                     return report(AttackOutcome::Cns, iterations);
                 }
             }
         }
     }
-    solver.pop_scope();
-    match solver.solve() {
+    m.solver().pop_scope();
+    match m.solver().solve() {
         SatResult::Unsat => report(AttackOutcome::Cns, iterations),
         SatResult::Unknown => report(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {
-            let key = KeyValue::from_bits(model_values(&solver, &k1));
+            let key = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &key, 256, 0x5a7) {
                 report(AttackOutcome::KeyFound(key), iterations)
             } else {

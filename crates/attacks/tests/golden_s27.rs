@@ -1,0 +1,201 @@
+//! Cross-attack regression pins: every migrated attack must produce
+//! **bit-identical** outcomes (verdict + recovered key) on the bundled s27
+//! locks before and after the unified-encoder refactor.
+//!
+//! The expected strings below were captured from the pre-refactor tree
+//! (PR 3 head, commit `ccf775c`) by running this test with
+//! `GOLDEN_PRINT=1 cargo test -p cutelock_attacks --test golden_s27 -- --nocapture`.
+//! They are *golden*: a mismatch means the encoding layer changed attack
+//! behavior, not just attack plumbing — investigate, don't re-pin blindly.
+
+use std::time::Duration;
+
+use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
+use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack};
+use cutelock_attacks::fall::fall_attack;
+use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::rane::rane_attack;
+use cutelock_attacks::sat_attack::scan_sat_attack;
+use cutelock_attacks::{AttackBudget, AttackOutcome, AttackReport};
+use cutelock_circuits::s27::s27;
+use cutelock_core::baselines::{TtLock, XorLock};
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+use cutelock_core::LockedCircuit;
+
+fn budget() -> AttackBudget {
+    AttackBudget {
+        timeout: Duration::from_secs(60),
+        max_bound: 6,
+        max_iterations: 256,
+        conflict_budget: Some(500_000),
+    }
+}
+
+/// The breakable baseline: a 4-bit XOR lock on s27.
+fn xor_lock() -> LockedCircuit {
+    XorLock::new(4, 3).lock(&s27()).expect("locks")
+}
+
+/// The resilient target: multi-key Cute-Lock-Str on s27.
+fn cute_lock() -> LockedCircuit {
+    let lc = CuteLockStr::new(CuteLockStrConfig {
+        keys: 4,
+        key_bits: 2,
+        locked_ffs: 1,
+        seed: 6,
+        schedule: None,
+        ..Default::default()
+    })
+    .lock(&s27())
+    .expect("locks");
+    assert!(!lc.schedule.is_constant(), "degenerate schedule");
+    lc
+}
+
+/// Deterministic golden form of a report: verdict label plus the exact key
+/// bits (timing excluded — it is the one legitimately nondeterministic
+/// field).
+fn golden(report: &AttackReport) -> String {
+    match &report.outcome {
+        AttackOutcome::KeyFound(k) => format!("Equal({k}) iters={}", report.iterations),
+        AttackOutcome::WrongKey(k) => format!("x..x({k}) iters={}", report.iterations),
+        other => format!("{} iters={}", other.label(), report.iterations),
+    }
+}
+
+fn check(label: &str, expected: &str, actual: String) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN {label}: {actual}");
+        return;
+    }
+    assert_eq!(actual, expected, "golden mismatch for {label}");
+}
+
+#[test]
+fn golden_scan_sat() {
+    check(
+        "sat/xor",
+        "Equal(0010) iters=2",
+        golden(&scan_sat_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "sat/cute",
+        "x..x(11) iters=2",
+        golden(&scan_sat_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_bbo() {
+    check(
+        "bbo/xor",
+        "Equal(0010) iters=4",
+        golden(&bbo_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "bbo/cute",
+        "x..x(11) iters=1",
+        golden(&bbo_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_bbo_rebuild() {
+    check(
+        "bbo-rebuild/xor",
+        "Equal(0010) iters=4",
+        golden(&bbo_rebuild_attack(&xor_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_int() {
+    check(
+        "int/xor",
+        "Equal(0010) iters=4",
+        golden(&int_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "int/cute",
+        "x..x(11) iters=1",
+        golden(&int_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_kc2() {
+    check(
+        "kc2/xor",
+        "Equal(0010) iters=2",
+        golden(&kc2_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "kc2/cute",
+        "x..x(11) iters=1",
+        golden(&kc2_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_rane() {
+    check(
+        "rane/xor",
+        "Equal(0010) iters=5",
+        golden(&rane_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "rane/cute",
+        "x..x(11) iters=2",
+        golden(&rane_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_appsat() {
+    let cfg = AppSatConfig::default();
+    check(
+        "appsat/xor",
+        "Equal(0010) iters=2",
+        golden(&appsat_attack(&xor_lock(), &budget(), &cfg)),
+    );
+    check(
+        "appsat/cute",
+        "x..x(11) iters=2",
+        golden(&appsat_attack(&cute_lock(), &budget(), &cfg)),
+    );
+}
+
+#[test]
+fn golden_double_dip() {
+    check(
+        "ddip/xor",
+        "Equal(0010) iters=2",
+        golden(&double_dip_attack(&xor_lock(), &budget())),
+    );
+    check(
+        "ddip/cute",
+        "x..x(11) iters=2",
+        golden(&double_dip_attack(&cute_lock(), &budget())),
+    );
+}
+
+#[test]
+fn golden_fall() {
+    let tt = TtLock::new(4, 3).lock(&s27()).expect("locks");
+    let r = fall_attack(&tt);
+    let actual = format!(
+        "candidates={} keys={} outcome={}",
+        r.candidates, r.keys_found, r.outcome
+    );
+    check(
+        "fall/ttlock",
+        "candidates=1 keys=1 outcome=Equal(1010)",
+        actual,
+    );
+    let r = fall_attack(&cute_lock());
+    let actual = format!(
+        "candidates={} keys={} outcome={}",
+        r.candidates, r.keys_found, r.outcome
+    );
+    check("fall/cute", "candidates=0 keys=0 outcome=FAIL", actual);
+}

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
 use cutelock_attacks::bmc::{bbo_attack, int_attack};
+use cutelock_attacks::certify::prove_locked_equivalence;
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
 use cutelock_attacks::fall::fall_attack_with_budget;
 use cutelock_attacks::kc2::kc2_attack;
@@ -16,6 +17,7 @@ use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
 use cutelock_netlist::{bench, verilog, Netlist, NetlistStats};
+use cutelock_sat::equiv::EquivResult;
 use cutelock_synth::{analyze, CellLibrary, OverheadComparison};
 
 use crate::args::Args;
@@ -34,12 +36,19 @@ COMMANDS:
   lock      Lock a .bench netlist
               --scheme str|xor|ttlock|dklock|sled  --in FILE --out FILE
               [--keys K] [--key-bits KI] [--ffs N] [--seed S]
+              [--schedule-file FILE]  (str only: read the key schedule
+               from a key file instead of drawing it from --seed)
               [--keys-out FILE]   (writes the key schedule)
   attack    Run an attack against a locked netlist
               --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana
               --locked FILE --oracle FILE [--timeout SECS] [--quick]
               (--quick caps the budget for a smoke run; without
                --locked/--oracle it locks a built-in s27 and attacks that)
+  verify    Prove a locked netlist cycle-exact against its original under
+            a key schedule (SAT, all input sequences up to the bound)
+              --locked FILE --original FILE --keys FILE
+              [--frames N (default 8)] [--conflicts N]
+              exit 0: equivalent; exit 2: corrupting sequence found
   overhead  45nm-model overhead of locked vs original
               --original FILE --locked FILE
   convert   Convert formats
@@ -60,6 +69,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "lock" => cmd_lock(rest),
         "attack" => cmd_attack(rest),
+        "verify" => cmd_verify(rest),
         "overhead" => cmd_overhead(rest),
         "convert" => cmd_convert(rest),
         "help" | "--help" | "-h" => {
@@ -122,17 +132,34 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let nl = read_netlist(args.req("in")?)?;
     let scheme = args.req("scheme")?;
-    let keys: usize = args.num("keys", 4)?;
-    let ki: usize = args.num("key-bits", 3)?;
+    let mut keys: usize = args.num("keys", 4)?;
+    let mut ki: usize = args.num("key-bits", 3)?;
     let ffs: usize = args.num("ffs", 1)?;
     let seed: u64 = args.num("seed", 0)?;
+    // A schedule file overrides --keys/--key-bits: the file *is* the
+    // schedule, so its dimensions win.
+    let schedule: Option<KeySchedule> = match args.opt("schedule-file") {
+        Some(path) => {
+            if scheme != "str" {
+                return Err(format!(
+                    "--schedule-file only applies to --scheme str (got `{scheme}`)"
+                ));
+            }
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let sched = KeySchedule::parse_key_file(&text).map_err(|e| format!("{path}: {e}"))?;
+            keys = sched.num_keys();
+            ki = sched.key_bits();
+            Some(sched)
+        }
+        None => None,
+    };
     let locked: LockedCircuit = match scheme {
         "str" => CuteLockStr::new(CuteLockStrConfig {
             keys,
             key_bits: ki,
             locked_ffs: ffs,
             seed,
-            schedule: None,
+            schedule,
             ..Default::default()
         })
         .lock(&nl)
@@ -150,15 +177,7 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown scheme `{other}`")),
     };
     if let Some(kpath) = args.opt("keys-out") {
-        let mut text = format!(
-            "# scheme: {}\n# k = {}, ki = {}\n",
-            locked.scheme,
-            locked.schedule.num_keys(),
-            locked.schedule.key_bits()
-        );
-        for (t, key) in locked.schedule.keys().iter().enumerate() {
-            text.push_str(&format!("t{t} {key}\n"));
-        }
+        let text = locked.schedule.to_key_file(locked.scheme);
         fs::write(kpath, text).map_err(|e| format!("{kpath}: {e}"))?;
     }
     eprintln!(
@@ -274,6 +293,64 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `cutelock verify`: SAT-prove that `--locked` driven by the `--keys`
+/// schedule is cycle-exact against `--original` for **all** input sequences
+/// of up to `--frames` cycles from reset — the designer-side certification
+/// the `certify` module provides as a library, exposed as exit codes for
+/// scripts and CI (0 = equivalent, 2 = corrupting sequence / inconclusive).
+fn cmd_verify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let locked_nl = read_netlist(args.req("locked")?)?;
+    let original = read_netlist(args.req("original")?)?;
+    let kpath = args.req("keys")?;
+    let text = fs::read_to_string(kpath).map_err(|e| format!("{kpath}: {e}"))?;
+    let schedule = KeySchedule::parse_key_file(&text).map_err(|e| format!("{kpath}: {e}"))?;
+    let frames: usize = args.num("frames", 8)?;
+    if frames == 0 {
+        return Err("--frames must be at least 1".into());
+    }
+    let conflicts: u64 = args.num("conflicts", 2_000_000)?;
+    let ki = locked_nl.key_inputs().len();
+    if ki != schedule.key_bits() {
+        return Err(format!(
+            "{kpath}: schedule is {} bits wide but the locked netlist has {ki} keyinput* ports",
+            schedule.key_bits()
+        ));
+    }
+    let locked = LockedCircuit {
+        netlist: locked_nl,
+        original,
+        schedule,
+        scheme: "external",
+        counter_ffs: Vec::new(),
+        locked_ffs: Vec::new(),
+    };
+    match prove_locked_equivalence(&locked, frames, Some(conflicts)).map_err(|e| e.to_string())? {
+        EquivResult::Equivalent => {
+            println!(
+                "equivalent: locked circuit matches the original on every \
+                 input sequence of {frames} cycle(s) from reset"
+            );
+            Ok(())
+        }
+        EquivResult::Counterexample(cex) => {
+            eprintln!("NOT equivalent: the schedule corrupts this input sequence:");
+            for (t, frame) in cex.iter().enumerate() {
+                let bits: String = frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                eprintln!("  cycle {t}: {bits}");
+            }
+            Err(format!(
+                "verification failed: outputs diverge within {} cycle(s)",
+                cex.len()
+            ))
+        }
+        EquivResult::Unknown => Err(format!(
+            "verification inconclusive: solver exhausted its {conflicts}-conflict budget; \
+             raise --conflicts or lower --frames"
+        )),
+    }
 }
 
 fn cmd_overhead(argv: &[String]) -> Result<(), String> {

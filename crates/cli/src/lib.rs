@@ -3,7 +3,7 @@
 //! The binary in `src/main.rs` is a thin wrapper over this crate:
 //! [`args`] parses `--flag value` / boolean-flag argument lists with no
 //! third-party dependency, and [`commands`] implements the subcommands
-//! (`bench`, `stats`, `lock`, `attack`, `overhead`, `convert`) on top of
+//! (`bench`, `stats`, `lock`, `attack`, `verify`, `overhead`, `convert`) on top of
 //! the workspace crates. Splitting the logic into a library keeps every
 //! piece unit-testable and lets [`commands::dispatch`] be driven directly
 //! from integration tests.

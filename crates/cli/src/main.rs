@@ -6,6 +6,8 @@
 //! cutelock lock    --scheme str --keys 4 --key-bits 3 --ffs 2 \
 //!                  --in b10.bench --out b10_locked.bench --keys-out b10.keys
 //! cutelock attack  --mode int --locked b10_locked.bench --oracle b10.bench
+//! cutelock verify  --locked b10_locked.bench --original b10.bench \
+//!                  --keys b10.keys
 //! cutelock overhead --original b10.bench --locked b10_locked.bench
 //! cutelock convert --in b10_locked.bench --to verilog --out b10_locked.v
 //! ```

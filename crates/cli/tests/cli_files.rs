@@ -113,6 +113,167 @@ fn lock_attack_overhead_pipeline_on_disk() {
 }
 
 #[test]
+fn verify_accepts_correct_schedule_and_rejects_wrong_one() {
+    let tmp = TmpDir::new("verify");
+    let orig = tmp.path("s27.bench");
+    let locked = tmp.path("s27_locked.bench");
+    let keys = tmp.path("s27.keys");
+    run(&[
+        "bench", "--suite", "iscas89", "--name", "s27", "--out", &orig,
+    ])
+    .expect("bench");
+    run(&[
+        "lock",
+        "--scheme",
+        "str",
+        "--in",
+        &orig,
+        "--out",
+        &locked,
+        "--keys-out",
+        &keys,
+        "--keys",
+        "4",
+        "--key-bits",
+        "2",
+        "--ffs",
+        "1",
+        "--seed",
+        "7",
+    ])
+    .expect("lock");
+
+    // The written schedule proves out (cycle-exact for 8 frames).
+    run(&[
+        "verify",
+        "--locked",
+        &locked,
+        "--original",
+        &orig,
+        "--keys",
+        &keys,
+    ])
+    .expect("correct schedule must verify");
+
+    // Corrupt one key bit: verification must fail with a counterexample.
+    let text = fs::read_to_string(&keys).expect("keys written");
+    let corrupted: String = text
+        .lines()
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("t0 ") {
+                let flipped: String = rest
+                    .chars()
+                    .map(|c| match c {
+                        '0' => '1',
+                        '1' => '0',
+                        other => other,
+                    })
+                    .collect();
+                format!("t0 {flipped}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let bad_keys = tmp.path("s27_bad.keys");
+    fs::write(&bad_keys, corrupted).expect("write corrupted keys");
+    let err = run(&[
+        "verify",
+        "--locked",
+        &locked,
+        "--original",
+        &orig,
+        "--keys",
+        &bad_keys,
+    ])
+    .expect_err("wrong schedule must fail verification");
+    assert!(err.contains("diverge"), "got: {err}");
+
+    // Width mismatches are caught before any solving.
+    let narrow = tmp.path("narrow.keys");
+    fs::write(&narrow, "t0 1\nt1 0\n").expect("write narrow keys");
+    let err = run(&[
+        "verify",
+        "--locked",
+        &locked,
+        "--original",
+        &orig,
+        "--keys",
+        &narrow,
+    ])
+    .expect_err("width mismatch must fail");
+    assert!(err.contains("keyinput"), "got: {err}");
+}
+
+#[test]
+fn lock_reads_schedule_from_file() {
+    let tmp = TmpDir::new("schedfile");
+    let orig = tmp.path("s27.bench");
+    let locked = tmp.path("s27_locked.bench");
+    let sched = tmp.path("in.keys");
+    let echoed = tmp.path("out.keys");
+    run(&[
+        "bench", "--suite", "iscas89", "--name", "s27", "--out", &orig,
+    ])
+    .expect("bench");
+    // A hand-written 3-slot schedule of 2-bit keys; --keys/--key-bits are
+    // absent on purpose — the file dictates the dimensions.
+    fs::write(&sched, "# hand schedule\nt0 10\nt1 01\nt2 11\n").expect("write schedule");
+    run(&[
+        "lock",
+        "--scheme",
+        "str",
+        "--in",
+        &orig,
+        "--out",
+        &locked,
+        "--schedule-file",
+        &sched,
+        "--keys-out",
+        &echoed,
+        "--ffs",
+        "1",
+        "--seed",
+        "3",
+    ])
+    .expect("lock with schedule file");
+    // The echoed schedule matches the input file slot for slot.
+    let echoed_text = fs::read_to_string(&echoed).expect("echoed schedule");
+    for line in ["t0 10", "t1 01", "t2 11"] {
+        assert!(
+            echoed_text.contains(line),
+            "missing `{line}`:\n{echoed_text}"
+        );
+    }
+    // And the lock built from it certifies against the original.
+    run(&[
+        "verify",
+        "--locked",
+        &locked,
+        "--original",
+        &orig,
+        "--keys",
+        &sched,
+    ])
+    .expect("file-scheduled lock must verify");
+
+    // Non-str schemes reject the flag.
+    let err = run(&[
+        "lock",
+        "--scheme",
+        "xor",
+        "--in",
+        &orig,
+        "--out",
+        &locked,
+        "--schedule-file",
+        &sched,
+    ])
+    .expect_err("xor must reject --schedule-file");
+    assert!(err.contains("schedule-file"), "got: {err}");
+}
+
+#[test]
 fn attack_on_missing_file_reports_path() {
     let tmp = TmpDir::new("missing");
     let ghost = tmp.path("nope.bench");

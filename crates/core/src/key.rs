@@ -50,6 +50,27 @@ impl KeyValue {
         )
     }
 
+    /// Parses an MSB-first binary string (the [`fmt::Display`] form used in
+    /// key files and the paper's key listings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for empty strings or non-binary characters.
+    pub fn parse_binary(s: &str) -> Result<Self, String> {
+        if s.is_empty() {
+            return Err("empty key value".into());
+        }
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                other => return Err(format!("invalid key bit `{other}` in `{s}`")),
+            }
+        }
+        Ok(Self { bits })
+    }
+
     /// A key differing from `self` in at least one bit (flips the bit at
     /// `position % width`).
     ///
@@ -170,6 +191,73 @@ impl KeySchedule {
     pub fn total_bits(&self) -> usize {
         self.num_keys() * self.key_bits()
     }
+
+    /// Serializes the schedule in the key-file format shared by
+    /// `cutelock lock --keys-out`, `lock --schedule-file`, and
+    /// `cutelock verify --keys`: `#`-comments, then one `t<N> <bits>` line
+    /// per time slot (bits MSB-first).
+    ///
+    /// ```text
+    /// # scheme: cutelock-str
+    /// # k = 2, ki = 3
+    /// t0 101
+    /// t1 010
+    /// ```
+    pub fn to_key_file(&self, scheme: &str) -> String {
+        let mut text = format!(
+            "# scheme: {scheme}\n# k = {}, ki = {}\n",
+            self.num_keys(),
+            self.key_bits()
+        );
+        for (t, key) in self.keys.iter().enumerate() {
+            text.push_str(&format!("t{t} {key}\n"));
+        }
+        text
+    }
+
+    /// Parses the key-file format written by
+    /// [`to_key_file`](KeySchedule::to_key_file). Blank lines and
+    /// `#`-comments are ignored; the `t<N>` indices must form a contiguous
+    /// `0..k` range (in any order) with consistent key widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending line.
+    pub fn parse_key_file(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<(usize, KeyValue)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: String| format!("key file line {}: {msg}", lineno + 1);
+            let (slot, bits) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(format!("expected `t<N> <bits>`, got `{line}`")))?;
+            let t: usize = slot
+                .strip_prefix('t')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| err(format!("bad time slot `{slot}`")))?;
+            let key = KeyValue::parse_binary(bits.trim()).map_err(err)?;
+            if entries.iter().any(|&(seen, _)| seen == t) {
+                return Err(err(format!("duplicate time slot t{t}")));
+            }
+            entries.push((t, key));
+        }
+        if entries.is_empty() {
+            return Err("key file has no `t<N> <bits>` entries".into());
+        }
+        entries.sort_by_key(|&(t, _)| t);
+        let k = entries.len();
+        if entries.last().expect("non-empty").0 != k - 1 {
+            return Err(format!("time slots must cover t0..t{} contiguously", k - 1));
+        }
+        let ki = entries[0].1.width();
+        if let Some((t, bad)) = entries.iter().find(|(_, key)| key.width() != ki) {
+            return Err(format!("t{t} is {} bits wide but t0 is {ki}", bad.width()));
+        }
+        Ok(Self::new(entries.into_iter().map(|(_, key)| key).collect()))
+    }
 }
 
 impl fmt::Display for KeySchedule {
@@ -239,5 +327,48 @@ mod tests {
         let s = KeySchedule::constant(KeyValue::from_u64(5, 3), 4);
         assert!(s.is_constant());
         assert_eq!(s.num_keys(), 4);
+    }
+
+    #[test]
+    fn key_value_parses_msb_first_binary() {
+        let k = KeyValue::parse_binary("1011").unwrap();
+        assert_eq!(k, KeyValue::from_u64(0b1011, 4));
+        assert_eq!(k.to_string(), "1011");
+        assert!(KeyValue::parse_binary("").is_err());
+        assert!(KeyValue::parse_binary("10x1").is_err());
+    }
+
+    #[test]
+    fn key_file_round_trips() {
+        let s = KeySchedule::random(4, 3, 77);
+        let text = s.to_key_file("cutelock-str");
+        assert!(text.starts_with("# scheme: cutelock-str\n"));
+        let parsed = KeySchedule::parse_key_file(&text).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn key_file_accepts_shuffled_slots_and_comments() {
+        let parsed =
+            KeySchedule::parse_key_file("# a comment\n\n t1 01 \nt0 11\n# trailing\n").unwrap();
+        assert_eq!(parsed.key_at_time(0), &KeyValue::from_u64(0b11, 2));
+        assert_eq!(parsed.key_at_time(1), &KeyValue::from_u64(0b01, 2));
+    }
+
+    #[test]
+    fn key_file_rejects_malformed_inputs() {
+        // No entries at all.
+        assert!(KeySchedule::parse_key_file("# nothing\n").is_err());
+        // Gap in the time slots.
+        assert!(KeySchedule::parse_key_file("t0 1\nt2 0\n").is_err());
+        // Duplicate slot.
+        assert!(KeySchedule::parse_key_file("t0 1\nt0 0\n").is_err());
+        // Width mismatch.
+        assert!(KeySchedule::parse_key_file("t0 10\nt1 011\n").is_err());
+        // Bad slot name and bad bits.
+        assert!(KeySchedule::parse_key_file("x0 10\n").is_err());
+        assert!(KeySchedule::parse_key_file("t0 10a\n").is_err());
+        // Missing value.
+        assert!(KeySchedule::parse_key_file("t0\n").is_err());
     }
 }

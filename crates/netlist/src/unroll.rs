@@ -10,6 +10,11 @@
 //!   [`unroll`] the circuit for a bounded number of clock cycles, replicating
 //!   the combinational logic once per frame while **sharing the key inputs
 //!   across frames** — the constant-key assumption Cute-Lock exploits.
+//!
+//! Neither view is lowered to CNF here: `cutelock_sat::encode` consumes
+//! them — its `MiterBuilder` encodes [`ScanView`] copies/frames with
+//! shared-port wiring, and its `CircuitEncoder::encode_unrolled` wraps
+//! [`unroll`] for the certifier and the bounded equivalence checks.
 
 use std::collections::HashMap;
 
@@ -189,6 +194,12 @@ pub fn unroll(
 pub struct ScanView {
     /// The combinational netlist.
     pub netlist: Netlist,
+    /// The source circuit's primary outputs mapped into the view, in the
+    /// source's output order. Kept explicitly because output marking
+    /// dedupes: a primary output that *also* feeds a flip-flop data input
+    /// appears only once in `netlist.outputs()`, so slicing that list
+    /// cannot recover the original output vector.
+    pub primary_outputs: Vec<NetId>,
     /// Pseudo-inputs replacing each flip-flop output (by FF index).
     pub state_inputs: Vec<NetId>,
     /// Pseudo-outputs exposing each flip-flop data input (by FF index).
@@ -224,8 +235,10 @@ pub fn scan_view(nl: &Netlist) -> Result<ScanView, NetlistError> {
         let id = out.add_gate(gate.kind(), nl.net_name(gate.output()).to_string(), &ins)?;
         map.insert(gate.output(), id);
     }
+    let mut primary_outputs = Vec::with_capacity(nl.output_count());
     for &o in nl.outputs() {
         out.mark_output(map[&o])?;
+        primary_outputs.push(map[&o]);
     }
     let mut next_state_outputs = Vec::with_capacity(nl.dff_count());
     for ff in nl.dffs() {
@@ -236,6 +249,7 @@ pub fn scan_view(nl: &Netlist) -> Result<ScanView, NetlistError> {
     out.validate()?;
     Ok(ScanView {
         netlist: out,
+        primary_outputs,
         state_inputs,
         next_state_outputs,
     })

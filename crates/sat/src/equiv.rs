@@ -5,14 +5,16 @@
 //! *exhaustively* — combinationally, or sequentially up to a bounded number
 //! of clock cycles from reset. The lock transforms' correctness tests use
 //! it to prove that Cute-Lock with the correct schedule is cycle-exact, not
-//! merely unrefuted.
+//! merely unrefuted. Both checks lower through the unified
+//! [`CircuitEncoder`]: one copy encoded
+//! free, the second bound to the first's inputs, and a vector-differ
+//! constraint on the outputs.
 
-use std::collections::HashMap;
-
-use cutelock_netlist::unroll::{unroll, InitState, KeySharing};
+use cutelock_netlist::unroll::{InitState, KeySharing};
 use cutelock_netlist::{Netlist, NetlistError};
 
-use crate::{tseitin, Lit, SatResult, Solver};
+use crate::encode::{Binding, CircuitEncoder};
+use crate::{Lit, SatResult};
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,28 +44,20 @@ pub fn comb_equiv(a: &Netlist, b: &Netlist) -> Result<EquivResult, NetlistError>
         ));
     }
     check_interfaces(a, b)?;
-    let mut solver = Solver::new();
-    let cnf_a = tseitin::encode(a, &mut solver, &HashMap::new())?;
-    let shared: HashMap<_, _> = b
-        .inputs()
-        .iter()
-        .zip(a.inputs())
-        .map(|(&bi, &ai)| (bi, cnf_a.lit(ai)))
-        .collect();
-    let cnf_b = tseitin::encode(b, &mut solver, &shared)?;
-    let oa: Vec<Lit> = a.outputs().iter().map(|&o| cnf_a.lit(o)).collect();
-    let ob: Vec<Lit> = b.outputs().iter().map(|&o| cnf_b.lit(o)).collect();
-    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
-    solver.add_clause(&[diff]);
-    Ok(match solver.solve() {
+    let mut enc = CircuitEncoder::new();
+    let cnf_a = enc.encode(a, &Binding::new())?;
+    let mut shared = Binding::new();
+    shared.bind_all(b.inputs(), &cnf_a.lits(a.inputs()));
+    let cnf_b = enc.encode(b, &shared)?;
+    let oa = cnf_a.lits(a.outputs());
+    let ob = cnf_b.lits(b.outputs());
+    let diff = enc.differ(&oa, &ob);
+    enc.solver.add_clause(&[diff]);
+    Ok(match enc.solver.solve() {
         SatResult::Unsat => EquivResult::Equivalent,
         SatResult::Unknown => EquivResult::Unknown,
         SatResult::Sat => {
-            let cex: Vec<bool> = a
-                .inputs()
-                .iter()
-                .map(|&i| solver.lit_value(cnf_a.lit(i)).unwrap_or(false))
-                .collect();
+            let cex = enc.values(&cnf_a.lits(a.inputs()));
             EquivResult::Counterexample(vec![cex])
         }
     })
@@ -91,23 +85,25 @@ pub fn bounded_seq_equiv(
 ) -> Result<EquivResult, NetlistError> {
     assert!(frames > 0, "need at least one frame");
     check_interfaces(a, b)?;
-    let ua = unroll(a, frames, InitState::FromInit, KeySharing::PerFrame)?;
-    let ub = unroll(b, frames, InitState::FromInit, KeySharing::PerFrame)?;
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(conflict_budget);
-    let cnf_a = tseitin::encode(&ua.netlist, &mut solver, &HashMap::new())?;
+    let mut enc = CircuitEncoder::new();
+    enc.solver.set_conflict_budget(conflict_budget);
+    let (ua, cnf_a) = enc.encode_unrolled(
+        a,
+        frames,
+        InitState::FromInit,
+        KeySharing::PerFrame,
+        &Binding::new(),
+    )?;
     // Share frame inputs positionally (frame_inputs excludes key inputs;
     // keys were replicated per frame and are shared positionally too).
-    let mut shared: HashMap<_, _> = HashMap::new();
+    let ub =
+        cutelock_netlist::unroll::unroll(b, frames, InitState::FromInit, KeySharing::PerFrame)?;
+    let mut shared = Binding::new();
     for t in 0..frames {
-        for (&bi, &ai) in ub.frame_inputs[t].iter().zip(&ua.frame_inputs[t]) {
-            shared.insert(bi, cnf_a.lit(ai));
-        }
-        for (&bk, &ak) in ub.frame_keys[t].iter().zip(&ua.frame_keys[t]) {
-            shared.insert(bk, cnf_a.lit(ak));
-        }
+        shared.bind_all(&ub.frame_inputs[t], &cnf_a.lits(&ua.frame_inputs[t]));
+        shared.bind_all(&ub.frame_keys[t], &cnf_a.lits(&ua.frame_keys[t]));
     }
-    let cnf_b = tseitin::encode(&ub.netlist, &mut solver, &shared)?;
+    let cnf_b = enc.encode(&ub.netlist, &shared)?;
     let oa: Vec<Lit> = ua
         .frame_outputs
         .iter()
@@ -120,23 +116,16 @@ pub fn bounded_seq_equiv(
         .flatten()
         .map(|&o| cnf_b.lit(o))
         .collect();
-    let diff = tseitin::encode_vectors_differ(&mut solver, &oa, &ob);
-    solver.add_clause(&[diff]);
-    Ok(match solver.solve() {
+    let diff = enc.differ(&oa, &ob);
+    enc.solver.add_clause(&[diff]);
+    Ok(match enc.solver.solve() {
         SatResult::Unsat => EquivResult::Equivalent,
         SatResult::Unknown => EquivResult::Unknown,
         SatResult::Sat => {
             let cex: Vec<Vec<bool>> = (0..frames)
                 .map(|t| {
-                    let mut frame: Vec<bool> = ua.frame_inputs[t]
-                        .iter()
-                        .map(|&i| solver.lit_value(cnf_a.lit(i)).unwrap_or(false))
-                        .collect();
-                    frame.extend(
-                        ua.frame_keys[t]
-                            .iter()
-                            .map(|&k| solver.lit_value(cnf_a.lit(k)).unwrap_or(false)),
-                    );
+                    let mut frame = enc.values(&cnf_a.lits(&ua.frame_inputs[t]));
+                    frame.extend(enc.values(&cnf_a.lits(&ua.frame_keys[t])));
                     frame
                 })
                 .collect();

@@ -12,9 +12,15 @@
 //!   [`Solver::pop_scope`]) for retractable clause groups — the mechanism
 //!   that lets every BMC/DIP attack loop reuse one live solver across
 //!   bounds instead of re-encoding from scratch;
+//! * [`encode`] — the unified miter/encoding engine: [`CircuitEncoder`]
+//!   owns netlist→CNF lowering and glue constraints, [`MiterBuilder`] wires
+//!   shared-input miter copies and appends BMC time frames incrementally —
+//!   the one layer every attack, certifier, and equivalence check builds
+//!   its SAT instances through;
 //! * [`tseitin`] — Tseitin encoding of combinational
 //!   [`Netlist`](cutelock_netlist::Netlist)s plus gate-level helpers for
-//!   building miters directly in CNF;
+//!   building miters directly in CNF (the primitive layer under
+//!   [`encode`]);
 //! * [`dimacs`] — DIMACS CNF reader/writer for interoperability and tests.
 //!
 //! # Example
@@ -35,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod dimacs;
+pub mod encode;
 pub mod equiv;
 mod lit;
 mod solver;
 pub mod tseitin;
 
+pub use encode::{Binding, CircuitEncoder, Frame, MiterBuilder, PortVals};
 pub use lit::{Lit, Var};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::CircuitCnf;

@@ -28,6 +28,14 @@ pub struct SolverStats {
     pub learnts: usize,
     /// Number of problem clauses added.
     pub clauses: usize,
+    /// Number of clause-database garbage collections performed.
+    pub gc_runs: u64,
+    /// Clauses physically reclaimed by GC: retired scoped clauses,
+    /// learnts culled by database reduction, and root-satisfied clauses.
+    pub gc_freed_clauses: u64,
+    /// Literal slots reclaimed by GC (freed clauses plus root-falsified
+    /// literals stripped from surviving clauses).
+    pub gc_freed_literals: u64,
 }
 
 const UNDEF_CLAUSE: u32 = u32::MAX;
@@ -63,6 +71,10 @@ struct Watcher {
 /// [`pop_scope`](Solver::pop_scope)) make whole clause groups retractable:
 /// the attack loops keep one live solver across every BMC bound and DIP
 /// iteration, so learnt clauses accumulate instead of being rebuilt.
+/// Popped scopes feed the clause-database garbage collector
+/// ([`garbage_collect`](Solver::garbage_collect)): once enough retired
+/// clauses pile up, the database is compacted and every watch list rebuilt,
+/// so long multi-scope runs do not drag dead clauses through propagation.
 #[derive(Debug, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -85,8 +97,15 @@ pub struct Solver {
     num_learnts: usize,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
-    /// Activation literals of the currently open scopes, innermost last.
-    scopes: Vec<Lit>,
+    /// Activation literals of the currently open scopes (innermost last),
+    /// each with the number of clauses added while it was innermost.
+    scopes: Vec<(Lit, usize)>,
+    /// Estimated garbage: clauses retired by popped scopes plus learnts
+    /// marked deleted, pending physical reclamation.
+    garbage_estimate: usize,
+    /// Whether [`Solver::pop_scope`] may trigger automatic clause-database
+    /// garbage collection.
+    scope_gc: bool,
 }
 
 impl Default for Solver {
@@ -120,6 +139,8 @@ impl Solver {
             conflict_budget: None,
             deadline: None,
             scopes: Vec::new(),
+            garbage_estimate: 0,
+            scope_gc: true,
         }
     }
 
@@ -195,20 +216,122 @@ impl Solver {
     /// Scopes nest; they must be popped innermost-first.
     pub fn push_scope(&mut self) -> Lit {
         let act = Lit::positive(self.new_var());
-        self.scopes.push(act);
+        self.scopes.push((act, 0));
         act
     }
 
     /// Closes the innermost scope, permanently retracting its clauses.
     ///
+    /// The unit clause `!act` retires every clause the scope guarded; when
+    /// automatic GC is enabled (the default, see
+    /// [`set_scope_gc`](Solver::set_scope_gc)) and enough garbage has
+    /// accumulated, the clause database is physically compacted via
+    /// [`garbage_collect`](Solver::garbage_collect) so retired clauses stop
+    /// occupying watch lists and memory.
+    ///
     /// # Panics
     ///
     /// Panics if no scope is open.
     pub fn pop_scope(&mut self) {
-        let act = self.scopes.pop().expect("pop_scope without an open scope");
+        let (act, added) = self.scopes.pop().expect("pop_scope without an open scope");
         // The unit clause !act satisfies every clause guarded by this scope,
         // retiring them without touching the clause database structure.
         self.add_clause(&[!act]);
+        self.garbage_estimate += added;
+        if self.scope_gc && self.gc_worthwhile() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Enables or disables automatic garbage collection on
+    /// [`pop_scope`](Solver::pop_scope). Disabling reproduces the legacy
+    /// leak-until-touched behavior (the `scope_gc_vs_leak` benchmark
+    /// baseline); [`garbage_collect`](Solver::garbage_collect) can still be
+    /// called manually.
+    pub fn set_scope_gc(&mut self, enabled: bool) {
+        self.scope_gc = enabled;
+    }
+
+    /// True when the pending garbage justifies a full database sweep: at
+    /// least 64 clauses *and* at least a quarter of the database. Small
+    /// retirements (one differ-clause per DIP scope) stay lazy, so frequent
+    /// tiny pops do not pay O(database) each time.
+    fn gc_worthwhile(&self) -> bool {
+        self.garbage_estimate >= 64 && self.garbage_estimate * 4 >= self.clauses.len()
+    }
+
+    /// Physically compacts the clause database: drops clauses satisfied at
+    /// the root level (retired scoped clauses, subsumed problem clauses),
+    /// drops learnts culled by database reduction, strips root-falsified
+    /// literals from the survivors, and rebuilds every watch list. Counts
+    /// the reclamation in [`SolverStats::gc_runs`],
+    /// [`SolverStats::gc_freed_clauses`], and
+    /// [`SolverStats::gc_freed_literals`].
+    ///
+    /// Runs automatically from [`pop_scope`](Solver::pop_scope) once enough
+    /// garbage accumulates; safe to call at any time (the solver first
+    /// returns to decision level 0).
+    pub fn garbage_collect(&mut self) {
+        self.cancel_until(0);
+        if !self.ok {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        // Root-level assignments never need their reason clauses again
+        // (conflict analysis only expands literals above level 0), so the
+        // reasons must not outlive the compaction that invalidates them.
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = UNDEF_CLAUSE;
+        }
+        let before_clauses = self.clauses.len();
+        let before_lits: usize = self.clauses.iter().map(|c| c.lits.len()).sum();
+        let mut kept: Vec<Clause> = Vec::with_capacity(before_clauses);
+        for mut clause in self.clauses.drain(..) {
+            if clause.deleted {
+                continue;
+            }
+            if clause
+                .lits
+                .iter()
+                .any(|&l| root_value(&self.assigns, l) == Some(true))
+            {
+                // Satisfied forever — this is where popped scopes' clauses
+                // (guarded by a root-false activation literal) get freed.
+                if clause.learnt {
+                    self.num_learnts -= 1;
+                }
+                continue;
+            }
+            // Propagation closure at the root guarantees every surviving
+            // clause keeps at least two unassigned literals.
+            clause
+                .lits
+                .retain(|&l| root_value(&self.assigns, l).is_none());
+            debug_assert!(clause.lits.len() >= 2);
+            kept.push(clause);
+        }
+        self.clauses = kept;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(Watcher {
+                cref: i as u32,
+                blocker: c.lits[1],
+            });
+            self.watches[c.lits[1].index()].push(Watcher {
+                cref: i as u32,
+                blocker: c.lits[0],
+            });
+        }
+        let after_lits: usize = self.clauses.iter().map(|c| c.lits.len()).sum();
+        self.stats.gc_runs += 1;
+        self.stats.gc_freed_clauses += (before_clauses - self.clauses.len()) as u64;
+        self.stats.gc_freed_literals += (before_lits - after_lits) as u64;
+        self.garbage_estimate = 0;
     }
 
     /// Number of currently open scopes.
@@ -220,11 +343,12 @@ impl Solver {
     /// clause when no scope is open). Same return contract as
     /// [`add_clause`](Solver::add_clause).
     pub fn add_scoped_clause(&mut self, lits: &[Lit]) -> bool {
-        match self.scopes.last().copied() {
+        match self.scopes.last().map(|&(act, _)| act) {
             Some(act) => {
                 let mut guarded = Vec::with_capacity(lits.len() + 1);
                 guarded.push(!act);
                 guarded.extend_from_slice(lits);
+                self.scopes.last_mut().expect("scope open").1 += 1;
                 self.add_clause(&guarded)
             }
             None => self.add_clause(lits),
@@ -234,7 +358,7 @@ impl Solver {
     /// Decides the formula with every open scope active, under additional
     /// temporary `assumptions`.
     pub fn solve_scoped(&mut self, assumptions: &[Lit]) -> SatResult {
-        let mut all = self.scopes.clone();
+        let mut all: Vec<Lit> = self.scopes.iter().map(|&(act, _)| act).collect();
         all.extend_from_slice(assumptions);
         self.solve_with_assumptions(&all)
     }
@@ -688,7 +812,9 @@ impl Solver {
             self.clauses[i].deleted = true;
             self.num_learnts -= 1;
         }
-        // Deleted clauses are pruned lazily from watch lists in propagate().
+        // Deleted clauses are pruned lazily from watch lists in propagate()
+        // and freed for good by the next garbage_collect().
+        self.garbage_estimate += kill;
     }
 
     // ------------------------------------------------------------------
@@ -803,6 +929,16 @@ impl Solver {
         self.heap.swap(i, j);
         self.heap_pos[self.heap[i].index()] = i;
         self.heap_pos[self.heap[j].index()] = j;
+    }
+}
+
+/// Value of `lit` looking only at the assignment array — usable while the
+/// clause database is mid-compaction and `self` is partially borrowed.
+fn root_value(assigns: &[i8], lit: Lit) -> Option<bool> {
+    match assigns[lit.var().index()] {
+        1 => Some(lit.is_positive()),
+        -1 => Some(!lit.is_positive()),
+        _ => None,
     }
 }
 
@@ -1099,6 +1235,134 @@ mod tests {
         s.add_clause(&[Lit::positive(var[0][0])]);
         assert_eq!(s.solve(), SatResult::Sat);
         assert_eq!(s.value(var[0][0]), Some(true));
+    }
+
+    /// A scope loaded with every pairwise clause over `n` fresh variables —
+    /// enough garbage to trip the automatic GC threshold on pop.
+    fn load_big_scope(s: &mut Solver, n: usize) -> (Vec<Var>, usize) {
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        s.push_scope();
+        let mut added = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_scoped_clause(&[Lit::positive(vars[i]), Lit::positive(vars[j])]);
+                added += 1;
+            }
+        }
+        (vars, added)
+    }
+
+    #[test]
+    fn pop_scope_garbage_collects_retired_clauses() {
+        let mut s = Solver::new();
+        let (vars, added) = load_big_scope(&mut s, 40);
+        assert_eq!(s.solve_scoped(&[]), SatResult::Sat);
+        assert_eq!(s.stats().gc_runs, 0);
+        let db_before = s.stats().clauses;
+        assert!(db_before >= added, "scoped clauses live in the database");
+        s.pop_scope();
+        let st = s.stats();
+        assert_eq!(st.gc_runs, 1, "big pop must trigger a collection");
+        assert!(
+            st.gc_freed_clauses >= added as u64,
+            "retired scoped clauses reclaimed: freed {} of {added}",
+            st.gc_freed_clauses
+        );
+        assert!(st.gc_freed_literals >= 2 * added as u64);
+        assert_eq!(st.clauses, 0, "database is empty after reclamation");
+        // The solver keeps functioning on fresh permanent clauses.
+        s.add_clause(&[Lit::negative(vars[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(false));
+    }
+
+    #[test]
+    fn small_pops_stay_lazy_but_forced_gc_reclaims() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.push_scope();
+        s.add_scoped_clause(&[Lit::positive(a)]);
+        s.pop_scope();
+        // One retired clause is below the sweep threshold…
+        assert_eq!(s.stats().gc_runs, 0);
+        assert_eq!(s.stats().clauses, 1, "retired clause still parked");
+        // …but a forced collection frees it.
+        s.garbage_collect();
+        let st = s.stats();
+        assert_eq!(st.gc_runs, 1);
+        assert_eq!(st.gc_freed_clauses, 1);
+        assert_eq!(st.clauses, 0);
+    }
+
+    #[test]
+    fn disabled_gc_reproduces_the_leak() {
+        let mut s = Solver::new();
+        s.set_scope_gc(false);
+        let (_, added) = load_big_scope(&mut s, 40);
+        s.pop_scope();
+        let st = s.stats();
+        assert_eq!(st.gc_runs, 0);
+        assert_eq!(st.clauses, added, "retired clauses linger when GC is off");
+    }
+
+    #[test]
+    fn gc_preserves_answers_across_scopes() {
+        // Solve PHP in a scope (hard, UNSAT), pop + collect, then solve an
+        // easy formula over the same variables: results must stay sound.
+        let holes = 5;
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Var(0); holes]; pigeons];
+        for p in var.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        s.push_scope();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_scoped_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_scoped_clause(&[l1, l2]);
+                }
+            }
+        }
+        assert_eq!(s.solve_scoped(&[]), SatResult::Unsat);
+        s.pop_scope();
+        s.garbage_collect();
+        assert!(s.stats().gc_freed_clauses > 0);
+        // Learnt clauses that outlived the scope are still sound: the
+        // formula without the scope is SAT, and units still propagate.
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[Lit::positive(var[0][0])]);
+        s.add_clause(&[Lit::negative(var[0][0]), Lit::positive(var[1][1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(var[0][0]), Some(true));
+        assert_eq!(s.value(var[1][1]), Some(true));
+    }
+
+    #[test]
+    fn gc_strips_root_falsified_literals() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b), Lit::positive(c)]);
+        s.add_clause(&[Lit::negative(a)]); // root unit: a = false
+        s.garbage_collect();
+        let st = s.stats();
+        // The ternary clause shrank to (b | c): one literal slot freed, no
+        // clause freed.
+        assert_eq!(st.gc_freed_clauses, 0);
+        assert_eq!(st.gc_freed_literals, 1);
+        assert_eq!(st.clauses, 1);
+        s.add_clause(&[Lit::negative(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(c), Some(true));
     }
 
     #[test]

@@ -5,15 +5,26 @@
 //!
 //! The build container has no network access, so the real crate cannot be
 //! vendored. This shim keeps every bench target compiling (`cargo bench
-//! --no-run` is a CI job) and, when actually run, executes each benchmark a
-//! bounded number of iterations and prints mean wall-clock time — enough to
-//! spot order-of-magnitude regressions locally without statistics machinery.
+//! --no-run` is a CI job) and, when actually run, measures each benchmark
+//! with a bounded statistical protocol:
 //!
-//! Beyond timing, a [`BenchmarkGroup`] records every measurement it takes
-//! and prints a **comparison table** when it finishes: each entry's speedup
-//! relative to the group's first entry (the baseline). That is how the
-//! workspace's 1-thread-vs-N-thread sweep benchmarks report a measured —
-//! not asserted — speedup without the real criterion's baseline files.
+//! * **warm-up** — the closure runs untimed until
+//!   [`Criterion::warm_up_time`] is spent (at least once), so caches,
+//!   allocators, and branch predictors settle before anything is recorded;
+//! * **per-sample timing** — each of the `sample_size` timed iterations is
+//!   measured individually;
+//! * **median with min/max spread** — the reported figure is the
+//!   median-of-samples (robust to scheduler outliers in a way the old
+//!   whole-loop mean was not), printed alongside the min–max range so a
+//!   noisy run is visible as a wide spread rather than a silent lie.
+//!
+//! Beyond per-benchmark timing, a [`BenchmarkGroup`] records every
+//! [`Measurement`] it takes and prints a **comparison table** when it
+//! finishes: each entry's speedup relative to the group's first entry (the
+//! baseline), spreads included. That is how the workspace's
+//! `scope_gc_vs_leak` and `bbo_rebuild_vs_incremental` groups report
+//! defensible — measured, spread-qualified — numbers without the real
+//! criterion's baseline files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,20 +80,74 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One benchmark's timing summary: median of the individual samples with
+/// the min–max spread.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Median of the per-iteration samples.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Number of untimed warm-up iterations that preceded them.
+    pub warm_up_iters: u64,
+}
+
+impl Measurement {
+    fn from_samples(mut samples: Vec<Duration>, warm_up_iters: u64) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort();
+        let n = samples.len();
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2
+        };
+        Some(Self {
+            median,
+            min: samples[0],
+            max: samples[n - 1],
+            samples: n,
+            warm_up_iters,
+        })
+    }
+
+    /// The `median (min…max)` form used in reports.
+    pub fn spread_string(&self) -> String {
+        format!("{:?} ({:?}…{:?})", self.median, self.min, self.max)
+    }
+}
+
 /// Drives the timing loop of one benchmark.
 pub struct Bencher {
-    iters: u64,
-    mean: Option<Duration>,
+    sample_size: u64,
+    warm_up_time: Duration,
+    result: Option<Measurement>,
 }
 
 impl Bencher {
-    /// Time `f`, calling it `iters` times and recording the mean.
+    /// Measures `f`: warms up untimed until the configured warm-up budget
+    /// is spent (at least one call), then times `sample_size` individual
+    /// iterations and records median/min/max.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
+        let warm_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_iters == 0 || warm_start.elapsed() < self.warm_up_time {
             black_box(f());
+            warm_up_iters += 1;
         }
-        self.mean = Some(start.elapsed() / self.iters as u32);
+        let mut samples = Vec::with_capacity(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        self.result = Measurement::from_samples(samples, warm_up_iters);
     }
 }
 
@@ -90,6 +155,7 @@ impl Bencher {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    warm_up_time: Duration,
 }
 
 impl Default for Criterion {
@@ -97,12 +163,13 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(200),
         }
     }
 }
 
 impl Criterion {
-    /// Set the number of timed iterations per benchmark.
+    /// Set the number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
         self
@@ -111,6 +178,13 @@ impl Criterion {
     /// Set the target measurement budget (advisory in this shim).
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Set the untimed warm-up budget each benchmark runs before sampling
+    /// (at least one warm-up iteration always runs).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
         self
     }
 
@@ -131,7 +205,13 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id.id, self.sample_size as u64, None, &mut f);
+        run_one(
+            &id.id,
+            self.sample_size as u64,
+            self.warm_up_time,
+            None,
+            &mut f,
+        );
         self
     }
 }
@@ -139,13 +219,14 @@ impl Criterion {
 /// A named group of benchmarks sharing throughput settings.
 ///
 /// The group remembers every measurement; when at least two benchmarks ran,
-/// [`BenchmarkGroup::finish`] prints each entry's speedup relative to the
-/// **first** entry, the group's baseline.
+/// [`BenchmarkGroup::finish`] prints each entry's speedup (by median)
+/// relative to the **first** entry, the group's baseline, with both
+/// entries' min–max spreads.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a Criterion,
     name: String,
     throughput: Option<Throughput>,
-    results: Vec<(String, Duration)>,
+    results: Vec<(String, Measurement)>,
     unmeasured: usize,
 }
 
@@ -162,14 +243,15 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
-        let mean = run_one(
+        let m = run_one(
             &full,
             self.criterion.sample_size as u64,
+            self.criterion.warm_up_time,
             self.throughput,
             &mut f,
         );
-        match mean {
-            Some(mean) => self.results.push((id.id, mean)),
+        match m {
+            Some(m) => self.results.push((id.id, m)),
             None => self.unmeasured += 1,
         }
         self
@@ -187,21 +269,22 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
-        let mean = run_one(
+        let m = run_one(
             &full,
             self.criterion.sample_size as u64,
+            self.criterion.warm_up_time,
             self.throughput,
             &mut |b| f(b, input),
         );
-        match mean {
-            Some(mean) => self.results.push((id.id, mean)),
+        match m {
+            Some(m) => self.results.push((id.id, m)),
             None => self.unmeasured += 1,
         }
         self
     }
 
-    /// Measured `(benchmark id, mean time)` pairs so far, in run order.
-    pub fn measurements(&self) -> &[(String, Duration)] {
+    /// Measured `(benchmark id, summary)` pairs so far, in run order.
+    pub fn measurements(&self) -> &[(String, Measurement)] {
         &self.results
     }
 
@@ -224,9 +307,17 @@ impl BenchmarkGroup<'_> {
         if rest.is_empty() {
             return;
         }
-        println!("{}: comparison vs `{base_id}` ({base:?}/iter)", self.name);
-        for (id, mean) in rest {
-            println!("  {id}: {}", speedup_label(*base, *mean));
+        println!(
+            "{}: comparison vs `{base_id}` {}",
+            self.name,
+            base.spread_string()
+        );
+        for (id, m) in rest {
+            println!(
+                "  {id}: {} — {}",
+                speedup_label(base.median, m.median),
+                m.spread_string()
+            );
         }
     }
 }
@@ -250,28 +341,38 @@ pub fn speedup_label(baseline: Duration, candidate: Duration) -> String {
 
 fn run_one(
     name: &str,
-    iters: u64,
+    sample_size: u64,
+    warm_up_time: Duration,
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
-) -> Option<Duration> {
-    let mut b = Bencher { iters, mean: None };
+) -> Option<Measurement> {
+    let mut b = Bencher {
+        sample_size,
+        warm_up_time,
+        result: None,
+    };
     f(&mut b);
-    match b.mean {
-        Some(mean) => {
+    match &b.result {
+        Some(m) => {
             let rate = throughput.map(|t| match t {
                 Throughput::Elements(n) => {
-                    format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                    format!("  ({:.0} elem/s)", n as f64 / m.median.as_secs_f64())
                 }
-                Throughput::Bytes(n) => format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64()),
+                Throughput::Bytes(n) => {
+                    format!("  ({:.0} B/s)", n as f64 / m.median.as_secs_f64())
+                }
             });
             println!(
-                "{name}: {mean:?}/iter over {iters} iters{}",
+                "{name}: median {} over {} samples (+{} warm-up){}",
+                m.spread_string(),
+                m.samples,
+                m.warm_up_iters,
                 rate.unwrap_or_default()
             );
         }
         None => println!("{name}: no measurement (Bencher::iter never called)"),
     }
-    b.mean
+    b.result
 }
 
 /// Bundle benchmark functions into a runnable group, mirroring
@@ -307,11 +408,16 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_micros(50))
+    }
+
     #[test]
     fn group_and_function_run() {
-        let mut c = Criterion::default()
-            .sample_size(3)
-            .measurement_time(Duration::from_millis(1));
+        let mut c = quick();
         c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
         let mut g = c.benchmark_group("grp");
         g.throughput(Throughput::Elements(4));
@@ -324,14 +430,65 @@ mod tests {
 
     #[test]
     fn group_records_measurements_for_comparison() {
-        let mut c = Criterion::default().sample_size(2);
+        let mut c = quick();
         let mut g = c.benchmark_group("cmp");
         g.bench_function("baseline", |b| b.iter(|| black_box(1 + 1)));
         g.bench_function("candidate", |b| b.iter(|| black_box(2 + 2)));
         let ids: Vec<&str> = g.measurements().iter().map(|(id, _)| id.as_str()).collect();
         assert_eq!(ids, vec!["baseline", "candidate"]);
-        assert!(g.measurements().iter().all(|(_, d)| *d > Duration::ZERO));
+        for (_, m) in g.measurements() {
+            assert!(m.min <= m.median && m.median <= m.max);
+            assert_eq!(m.samples, 3);
+            assert!(m.warm_up_iters >= 1, "warm-up always runs at least once");
+        }
         g.finish(); // prints the comparison; must not panic
+    }
+
+    #[test]
+    fn warm_up_respects_budget_for_slow_benchmarks() {
+        // A benchmark slower than the warm-up budget runs exactly one
+        // warm-up iteration.
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_micros(1));
+        let mut g = c.benchmark_group("slow");
+        g.bench_function("sleepy", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(200)))
+        });
+        let (_, m) = &g.measurements()[0];
+        assert_eq!(m.warm_up_iters, 1);
+        assert!(m.median >= Duration::from_micros(200));
+        g.finish();
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // Synthetic check of the summary math itself.
+        let m = Measurement::from_samples(
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(11),
+                Duration::from_millis(500), // scheduler hiccup
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(m.median, Duration::from_millis(11));
+        assert_eq!(m.min, Duration::from_millis(10));
+        assert_eq!(m.max, Duration::from_millis(500));
+        // Even sample counts average the two middle samples.
+        let even = Measurement::from_samples(
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(30),
+                Duration::from_millis(40),
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(even.median, Duration::from_millis(25));
+        assert!(Measurement::from_samples(Vec::new(), 0).is_none());
     }
 
     #[test]
