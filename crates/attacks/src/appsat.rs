@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::outcome::verify_candidate_key;
+use crate::portfolio::Portfolio;
 use crate::scan::ScanModel;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
@@ -70,6 +71,17 @@ pub fn appsat_attack(
     budget: &AttackBudget,
     config: &AppSatConfig,
 ) -> AttackReport {
+    appsat_attack_with(locked, budget, config, &Portfolio::single())
+}
+
+/// Runs AppSAT, racing each solver query across the given [`Portfolio`]
+/// (same verdict semantics as [`appsat_attack`]).
+pub fn appsat_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    config: &AppSatConfig,
+    portfolio: &Portfolio,
+) -> AttackReport {
     let start = Instant::now();
     let mk = |outcome, iterations| AttackReport {
         outcome,
@@ -80,6 +92,7 @@ pub fn appsat_attack(
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
+    portfolio.install(m.solver());
     let mut rng = StdRng::seed_from_u64(0xa995a7);
     let diff = m.obs_differ();
     // Retractable DIP-hunt constraint (see `sat_attack`): the final
@@ -92,7 +105,7 @@ pub fn appsat_attack(
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver().set_timeout(Some(rem));
-        match m.solver().solve_scoped(&[]) {
+        match portfolio.race_scoped(m.solver(), &[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -103,7 +116,7 @@ pub fn appsat_attack(
                 let x = m.values(&m.xs);
                 let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
-                if m.solver().solve() == SatResult::Unsat {
+                if portfolio.race(m.solver()) == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
                 // Settle phase: estimate the current candidate's error.
@@ -122,7 +135,7 @@ pub fn appsat_attack(
         }
     }
     m.solver().pop_scope();
-    match m.solver().solve() {
+    match portfolio.race(m.solver()) {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {
@@ -141,6 +154,16 @@ pub fn appsat_attack(
 /// disagrees with a third key copy — guaranteeing every DIP prunes two or
 /// more wrong keys.
 pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    double_dip_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs Double-DIP, racing each solver query across the given
+/// [`Portfolio`].
+pub fn double_dip_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
     let start = Instant::now();
     let mk = |outcome, iterations| AttackReport {
         outcome,
@@ -151,6 +174,7 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
+    portfolio.install(m.solver());
     // Third key copy sharing the same inputs.
     let (k3, f3) = m.add_key_copy();
     let d12 = m.obs_differ();
@@ -167,7 +191,7 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver().set_timeout(Some(rem));
-        match m.solver().solve_scoped(&[]) {
+        match portfolio.race_scoped(m.solver(), &[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -181,7 +205,7 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
                 // third must stay consistent too).
                 let (k1, k2) = (m.k1.clone(), m.k2.clone());
                 m.constrain_pattern_for(&[&k1, &k2, &k3], &x, &s);
-                if m.solver().solve() == SatResult::Unsat {
+                if portfolio.race(m.solver()) == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
             }
@@ -198,7 +222,7 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
             return mk(AttackOutcome::Timeout, iterations);
         };
         m.solver().set_timeout(Some(rem));
-        match m.solver().solve_scoped(&[]) {
+        match portfolio.race_scoped(m.solver(), &[]) {
             SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -209,14 +233,14 @@ pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Attac
                 let x = m.values(&m.xs);
                 let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
-                if m.solver().solve() == SatResult::Unsat {
+                if portfolio.race(m.solver()) == SatResult::Unsat {
                     return mk(AttackOutcome::Cns, iterations);
                 }
             }
         }
     }
     m.solver().pop_scope();
-    match m.solver().solve() {
+    match portfolio.race(m.solver()) {
         SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
         SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {

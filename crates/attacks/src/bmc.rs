@@ -43,6 +43,7 @@ use cutelock_sat::{CircuitEncoder, Lit, MiterBuilder, PortVals, SatResult, Solve
 use cutelock_sim::{NetlistOracle, SequentialOracle};
 
 use crate::outcome::verify_candidate_key;
+use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
 /// Which unrolling strategy to use.
@@ -73,18 +74,39 @@ pub enum InitModel {
 
 /// Runs the BBO-mode attack.
 pub fn bbo_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Bbo)
+    bbo_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs the BBO-mode attack, racing each solver query across the given
+/// [`Portfolio`].
+pub fn bbo_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, false, portfolio).run(BmcMode::Bbo)
 }
 
 /// Runs BBO with the legacy rebuild-per-bound solver strategy (the slow
 /// NEOS baseline). Only useful for benchmarking against [`bbo_attack`].
 pub fn bbo_rebuild_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::BboRebuild)
+    let portfolio = Portfolio::single();
+    Engine::new(locked, budget, InitModel::Reset, false, &portfolio).run(BmcMode::BboRebuild)
 }
 
 /// Runs the INT-mode attack.
 pub fn int_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    Engine::new(locked, budget, InitModel::Reset, false).run(BmcMode::Int)
+    int_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs the INT-mode attack, racing each solver query across the given
+/// [`Portfolio`].
+pub fn int_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, false, portfolio).run(BmcMode::Int)
 }
 
 /// One miter copy's per-frame literals.
@@ -121,6 +143,8 @@ pub(crate) struct Engine<'a> {
     init: InitModel,
     /// KC2 extension: probe and fix implied key bits after each iteration.
     fix_key_bits: bool,
+    /// Query-level portfolio racing (and the attack-level stop flag).
+    portfolio: &'a Portfolio,
     /// Shared so the legacy rebuild mode can restart from a fresh miter
     /// without re-deriving (or deep-copying) the view per bound.
     sv: Rc<ScanView>,
@@ -134,6 +158,7 @@ impl<'a> Engine<'a> {
         budget: &'a AttackBudget,
         init: InitModel,
         fix_key_bits: bool,
+        portfolio: &'a Portfolio,
     ) -> Self {
         let sv = Rc::new(scan_view(&locked.netlist).expect("locked netlist is well-formed"));
         Self {
@@ -141,6 +166,7 @@ impl<'a> Engine<'a> {
             budget,
             init,
             fix_key_bits,
+            portfolio,
             sv,
             start: Instant::now(),
             iterations: 0,
@@ -167,6 +193,7 @@ impl<'a> Engine<'a> {
         m.enc
             .solver
             .set_conflict_budget(self.budget.conflict_budget);
+        self.portfolio.install(&mut m.enc.solver);
         let k1 = m.fresh_keys();
         let k2 = m.fresh_keys();
         let secret: Option<Vec<Lit>> = (self.init == InitModel::Secret)
@@ -336,7 +363,7 @@ impl<'a> Engine<'a> {
                     return self.report(AttackOutcome::Timeout, bound);
                 };
                 st.m.enc.solver.set_timeout(Some(rem));
-                match st.m.enc.solver.solve_scoped(&[]) {
+                match self.portfolio.race_scoped(&mut st.m.enc.solver, &[]) {
                     SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
                     SatResult::Unsat => break, // no DIS at this bound
                     SatResult::Sat => {
@@ -369,7 +396,7 @@ impl<'a> Engine<'a> {
                             return self.report(AttackOutcome::Timeout, bound);
                         }
                         // Consistency: does any constant key remain?
-                        if st.m.enc.solver.solve() == SatResult::Unsat {
+                        if self.portfolio.race(&mut st.m.enc.solver) == SatResult::Unsat {
                             return self.report(AttackOutcome::Cns, bound);
                         }
                     }
@@ -378,7 +405,7 @@ impl<'a> Engine<'a> {
             st.m.enc.solver.pop_scope();
 
             // No DIS at this bound: extract and verify a candidate key.
-            match st.m.enc.solver.solve() {
+            match self.portfolio.race(&mut st.m.enc.solver) {
                 SatResult::Unsat => return self.report(AttackOutcome::Cns, bound),
                 SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
                 SatResult::Sat => {
@@ -471,7 +498,8 @@ mod tests {
             timeout: std::time::Duration::ZERO,
             ..quick_budget()
         };
-        let engine = Engine::new(&lc, &budget, InitModel::Reset, true);
+        let portfolio = Portfolio::single();
+        let engine = Engine::new(&lc, &budget, InitModel::Reset, true, &portfolio);
         let mut solver = Solver::new();
         solver.set_conflict_budget(budget.conflict_budget);
         let k1: Vec<Lit> = (0..4).map(|_| Lit::positive(solver.new_var())).collect();
@@ -500,7 +528,8 @@ mod tests {
         // incremental refactor's early-return audit).
         let lc = XorLock::new(2, 3).lock(&s27()).unwrap();
         let budget = quick_budget();
-        let engine = Engine::new(&lc, &budget, InitModel::Reset, true);
+        let portfolio = Portfolio::single();
+        let engine = Engine::new(&lc, &budget, InitModel::Reset, true, &portfolio);
         let mut solver = Solver::new();
         solver.set_conflict_budget(budget.conflict_budget);
         let k1: Vec<Lit> = (0..2).map(|_| Lit::positive(solver.new_var())).collect();

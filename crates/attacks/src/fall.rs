@@ -32,6 +32,7 @@ use cutelock_netlist::{Driver, GateKind, NetId, Netlist};
 use cutelock_sat::{Binding, CircuitEncoder, SatResult};
 
 use crate::outcome::verify_candidate_key;
+use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackOutcome};
 
 /// Result of a FALL run — one row of the paper's Table V FALL columns.
@@ -77,6 +78,17 @@ pub fn fall_attack(locked: &LockedCircuit) -> FallReport {
 /// whatever partial candidate/key counts it had accumulated — FALL no
 /// longer merely *records* its elapsed time while overrunning the clock.
 pub fn fall_attack_with_budget(locked: &LockedCircuit, budget: &AttackBudget) -> FallReport {
+    fall_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs FALL with the budget enforced as in [`fall_attack_with_budget`],
+/// racing each SAT key-confirmation check across the given [`Portfolio`]
+/// (the structural and pairing phases are not SAT-bound and stay serial).
+pub fn fall_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> FallReport {
     let start = Instant::now();
     let out_of_time = || budget.remaining(start).is_none();
     let timed_out = |candidates: usize, keys: Vec<KeyValue>| FallReport {
@@ -178,7 +190,7 @@ pub fn fall_attack_with_budget(locked: &LockedCircuit, budget: &AttackBudget) ->
         let Some(rem) = budget.remaining(start) else {
             return timed_out(candidates.len(), keys);
         };
-        if confirm_key(nl, *strip_root, *restore_root, cand, rem)
+        if confirm_key(nl, *strip_root, *restore_root, cand, rem, portfolio)
             && verify_candidate_key(locked, cand, 256, 0xfa11)
         {
             keys.push(cand.clone());
@@ -239,10 +251,12 @@ fn confirm_key(
     restore_root: NetId,
     cand: &KeyValue,
     remaining: std::time::Duration,
+    portfolio: &Portfolio,
 ) -> bool {
     let mut enc = CircuitEncoder::new();
     enc.solver.set_conflict_budget(Some(200_000));
     enc.solver.set_timeout(Some(remaining));
+    portfolio.install(&mut enc.solver);
     // Copy A: keys bound to candidate.
     let mut binding_a = Binding::new();
     for (&k, &b) in nl.key_inputs().iter().zip(cand.bits()) {
@@ -285,7 +299,7 @@ fn confirm_key(
     let ob = cnf_b.lits(modified.outputs());
     let diff = enc.differ(&oa, &ob);
     enc.solver.add_clause(&[diff]);
-    enc.solver.solve() == SatResult::Unsat
+    portfolio.race(&mut enc.solver) == SatResult::Unsat
 }
 
 #[cfg(test)]

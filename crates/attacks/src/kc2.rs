@@ -12,11 +12,22 @@
 use cutelock_core::LockedCircuit;
 
 use crate::bmc::{BmcMode, Engine, InitModel};
+use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackReport};
 
 /// Runs the KC2-mode attack: incremental unrolling plus key-bit fixation.
 pub fn kc2_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    Engine::new(locked, budget, InitModel::Reset, true).run(BmcMode::Int)
+    kc2_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs the KC2-mode attack, racing each solver query across the given
+/// [`Portfolio`] (the cheap key-bit probes stay single-solver).
+pub fn kc2_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Reset, true, portfolio).run(BmcMode::Int)
 }
 
 #[cfg(test)]

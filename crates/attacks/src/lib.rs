@@ -18,7 +18,16 @@
 //! * [`fall`] — FALL-style functional analysis (comparator detection +
 //!   candidate extraction + SAT verification), oracle-less;
 //! * [`dana`] — DANA-style dataflow register clustering, scored with
-//!   [`dana::nmi`] against ground-truth register words.
+//!   [`dana::nmi`] against ground-truth register words;
+//! * [`portfolio`] — deterministic portfolio racing: every oracle-guided
+//!   attack accepts a [`Portfolio`] that races diversified solver clones
+//!   per DIP/BMC query across [`Pool`](cutelock_sim::pool::Pool) threads
+//!   (bit-identical for any thread count), and [`portfolio_attack`] races
+//!   whole strategies with cooperative cancellation.
+//!
+//! The full pipeline walkthrough lives in `docs/ARCHITECTURE.md` at the
+//! repository root; the determinism rules the portfolio layer upholds are
+//! codified in `docs/DETERMINISM.md`.
 //!
 //! Every oracle-guided attack reports an [`AttackOutcome`] matching the
 //! paper's table legend: key found (green), wrong key (`x..x`), `CNS`
@@ -64,8 +73,10 @@ pub mod dana;
 pub mod fall;
 pub mod kc2;
 mod outcome;
+pub mod portfolio;
 pub mod rane;
 pub mod sat_attack;
 mod scan;
 
 pub use outcome::{AttackBudget, AttackOutcome, AttackReport};
+pub use portfolio::{portfolio_attack, Portfolio, RaceReport, Strategy};

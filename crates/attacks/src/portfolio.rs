@@ -1,0 +1,568 @@
+//! Deterministic portfolio SAT attacks — the first place the SAT layer
+//! itself goes multi-core.
+//!
+//! Two racing layers, both built on the scoped work-stealing [`Pool`]:
+//!
+//! * **Query-level** ([`Portfolio::race_scoped`] / [`Portfolio::race`]):
+//!   each DIP/BMC query clones the attack's live incremental solver into
+//!   `k` entrants, diversifies them with
+//!   [`SolverConfig::portfolio`], and races the clones
+//!   across pool threads. The race proceeds in conflict-bounded **epochs**:
+//!   every entrant runs one fixed-size budget slice per epoch, and among
+//!   the entrants that answered inside the epoch the **lowest config index
+//!   wins**. An entrant may cooperatively cancel only entrants *above* its
+//!   own index (via the solver's [`stop` flag](Solver::set_stop) polled in
+//!   the search loop), so the would-be winner is never interrupted — which
+//!   is exactly why the winning index, its model, and therefore the whole
+//!   attack trajectory are **bit-identical for any thread count**,
+//!   including 1. The winner's solver (with everything it learnt) replaces
+//!   the attack's main solver, so learning persists across queries.
+//! * **Attack-level** ([`portfolio_attack`]): whole strategies — the scan
+//!   SAT attack, KC2, and incremental BMC — race against one oracle under
+//!   a shared [`AttackBudget`]. The first strategy to reach a decisive
+//!   verdict (a verified key or a CNS proof — a refuted key settles
+//!   nothing and cancels nobody) flips a shared stop flag; the losing
+//!   strategies' solvers abort at their next propagate/decide round. This layer optimizes
+//!   wall-clock, not reproducibility: *which* strategy wins first can vary
+//!   with timing (every returned key is oracle-verified either way), so
+//!   attack-level races stay out of the CI determinism diffs. The losing
+//!   verdicts are reported as [`AttackOutcome::Timeout`].
+//!
+//! Determinism fine print (codified in `docs/DETERMINISM.md` at the
+//! repository root): the query-level guarantee holds as long as no
+//! wall-clock deadline fires mid-race — the same caveat the table bins'
+//! `--threads` determinism check already carries, and the reason the CI
+//! diffs run with generous `--timeout` values.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_attacks::portfolio::Portfolio;
+//! use cutelock_attacks::sat_attack::scan_sat_attack_with;
+//! use cutelock_attacks::AttackBudget;
+//! use cutelock_circuits::s27::s27;
+//! use cutelock_core::baselines::XorLock;
+//!
+//! let locked = XorLock::new(4, 3).lock(&s27()).unwrap();
+//! let budget = AttackBudget::default();
+//! // Race 4 diversified solvers per DIP query on 2 worker threads; the
+//! // result is identical to what `threads: 1` would produce.
+//! let report = scan_sat_attack_with(&locked, &budget, &Portfolio::new(4, 2));
+//! assert!(!report.outcome.defense_held() || report.iterations > 0);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cutelock_core::LockedCircuit;
+use cutelock_sat::{Lit, SatResult, Solver, SolverConfig};
+use cutelock_sim::pool::Pool;
+
+use crate::bmc::int_attack_with;
+use crate::kc2::kc2_attack_with;
+use crate::sat_attack::scan_sat_attack_with;
+use crate::{AttackBudget, AttackOutcome, AttackReport};
+
+/// Default conflicts per entrant in the first race epoch; later epochs
+/// double it. Small enough that easy queries (the common case in a DIP
+/// loop) finish in one slice, large enough that the per-epoch barrier is
+/// noise on hard ones.
+pub const DEFAULT_EPOCH_BASE: u64 = 2_000;
+
+/// Portfolio settings threaded through every attack entry point.
+///
+/// [`Portfolio::single`] (the [`Default`]) disables racing entirely: the
+/// attack runs its one solver exactly as it did before the portfolio layer
+/// existed, bit for bit.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    /// Diversified solver entrants raced per query (`<= 1` disables
+    /// racing).
+    pub k: usize,
+    /// Worker threads the race fans entrants across. The answer is
+    /// identical for any value; this only buys wall-clock.
+    pub threads: usize,
+    /// Conflicts per entrant in the first epoch slice (doubled each
+    /// epoch). [`DEFAULT_EPOCH_BASE`] when built via the constructors.
+    pub epoch_base: u64,
+    /// Attack-level cancellation: installed into every solver the attack
+    /// creates, so a raced strategy can be retired from outside.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for Portfolio {
+    /// [`Portfolio::single`] — so `..Default::default()` struct updates
+    /// inherit sane values (`epoch_base` in particular must never be 0).
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl Portfolio {
+    /// No racing: the attack behaves exactly as without a portfolio.
+    pub fn single() -> Self {
+        Self {
+            k: 1,
+            threads: 1,
+            epoch_base: DEFAULT_EPOCH_BASE,
+            stop: None,
+        }
+    }
+
+    /// Race `k` diversified entrants per query across `threads` workers.
+    pub fn new(k: usize, threads: usize) -> Self {
+        Self {
+            k: k.max(1),
+            threads: threads.max(1),
+            epoch_base: DEFAULT_EPOCH_BASE,
+            stop: None,
+        }
+    }
+
+    /// Attaches an attack-level cancellation flag (see
+    /// [`portfolio_attack`]).
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Installs this portfolio's attack-level stop flag into a solver the
+    /// attack just created — every engine calls this right after building
+    /// its miter.
+    pub fn install(&self, solver: &mut Solver) {
+        solver.set_stop(self.stop.clone());
+    }
+
+    /// True when the attack-level stop flag has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Races a [`Solver::solve_scoped`] query (every open scope active)
+    /// and leaves the winning entrant's state in `solver`.
+    pub fn race_scoped(&self, solver: &mut Solver, assumptions: &[Lit]) -> SatResult {
+        self.race_inner(solver, true, assumptions)
+    }
+
+    /// Races a plain [`Solver::solve_with_assumptions`] query (open scopes
+    /// *inactive*) and leaves the winning entrant's state in `solver`.
+    pub fn race(&self, solver: &mut Solver) -> SatResult {
+        self.race_inner(solver, false, &[])
+    }
+
+    /// The epoch race. See the module docs for the determinism argument;
+    /// in short: entrant budgets are conflict counts (pure functions of
+    /// the epoch and config index), an entrant may only cancel entrants
+    /// above its own index, and the lowest-index finisher of the first
+    /// decisive epoch wins — so scheduling order can never change the
+    /// winner or its model.
+    fn race_inner(&self, solver: &mut Solver, scoped: bool, assumptions: &[Lit]) -> SatResult {
+        if self.k <= 1 {
+            return if scoped {
+                solver.solve_scoped(assumptions)
+            } else {
+                solver.solve_with_assumptions(assumptions)
+            };
+        }
+        if self.stop_requested() {
+            return SatResult::Unknown;
+        }
+        let saved_budget = solver.conflict_budget();
+        // The race gives up once every entrant has spent the solver's own
+        // conflict budget — the same surrender point a single solver has.
+        let cap = saved_budget.unwrap_or(u64::MAX);
+        let configs = SolverConfig::portfolio(self.k);
+        let entrants: Vec<Mutex<Solver>> = configs
+            .iter()
+            .map(|cfg| {
+                let mut s = solver.clone();
+                s.apply_config(cfg);
+                Mutex::new(s)
+            })
+            .collect();
+        let pool = Pool::new(self.threads);
+        let mut spent = 0u64;
+        let mut epoch = 0u32;
+        loop {
+            // Clamp each slice to the conflicts still unspent under the
+            // cap, so the race surrenders at the same total-conflict point
+            // a single solver would instead of overshooting by a slice.
+            let slice = self
+                .epoch_base
+                .max(1)
+                .saturating_mul(1 << epoch.min(16))
+                .min(cap - spent);
+            let flags: Vec<Arc<AtomicBool>> = (0..self.k)
+                .map(|_| Arc::new(AtomicBool::new(false)))
+                .collect();
+            let results: Vec<SatResult> = pool.map(self.k, |i| {
+                let mut s = entrants[i].lock().expect("entrant lock");
+                let stagger = configs[i].conflict_stagger;
+                s.set_conflict_budget(Some(slice.saturating_add(stagger).min(cap - spent)));
+                // The race flag goes in the solver's second cancellation
+                // slot, so the attack-level stop flag the entrant cloned
+                // from the main solver keeps working mid-slice.
+                s.set_race_stop(Some(Arc::clone(&flags[i])));
+                let r = if scoped {
+                    s.solve_scoped(assumptions)
+                } else {
+                    s.solve_with_assumptions(assumptions)
+                };
+                if r != SatResult::Unknown {
+                    // Retire only the entrants ABOVE this index: a finisher
+                    // must never interrupt a lower-index entrant that would
+                    // also finish, or the winner would depend on timing.
+                    for f in &flags[i + 1..] {
+                        f.store(true, Ordering::Relaxed);
+                    }
+                }
+                r
+            });
+            if let Some(w) = results.iter().position(|&r| r != SatResult::Unknown) {
+                let winner = entrants.into_iter().nth(w).expect("winner index in range");
+                let mut winner = winner.into_inner().expect("entrant lock");
+                winner.set_conflict_budget(saved_budget);
+                winner.set_race_stop(None);
+                *solver = winner;
+                return results[w];
+            }
+            spent = spent.saturating_add(slice);
+            if spent >= cap || solver.deadline_expired() || self.stop_requested() {
+                // Out of conflicts, out of wall-clock, or cancelled from
+                // the attack level: surrender like a single solver would.
+                // `solver` keeps its pre-race state (budgets untouched).
+                return SatResult::Unknown;
+            }
+            epoch += 1;
+        }
+    }
+}
+
+/// A whole attack strategy the attack-level race can field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The combinational scan-access SAT attack
+    /// ([`scan_sat_attack_with`]).
+    ScanSat,
+    /// KC2: incremental BMC plus key-bit fixation ([`kc2_attack_with`]).
+    Kc2,
+    /// The incremental sequential unrolling attack ([`int_attack_with`]).
+    BmcInt,
+}
+
+impl Strategy {
+    /// Every strategy the race can field, in canonical order.
+    pub const ALL: [Strategy; 3] = [Strategy::ScanSat, Strategy::Kc2, Strategy::BmcInt];
+
+    /// The strategy's table/CLI label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::ScanSat => "sat",
+            Strategy::Kc2 => "kc2",
+            Strategy::BmcInt => "int",
+        }
+    }
+}
+
+/// Outcome of an attack-level race: the winning strategy (first to a
+/// decisive verdict), its report, and every strategy's report for the
+/// record.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// The strategy that reached a decisive verdict — a verified key or a
+    /// CNS proof — first, if any did within the budget.
+    pub winner: Option<Strategy>,
+    /// The winner's report, or — when no strategy was decisive — the
+    /// best-ranked report, ties broken by canonical strategy order.
+    pub report: AttackReport,
+    /// All reports in [`Strategy::ALL`]-relative order. Cancelled losers
+    /// read [`AttackOutcome::Timeout`].
+    pub reports: Vec<(Strategy, AttackReport)>,
+}
+
+/// True when a verdict settles the race: a **verified** key (the lock is
+/// broken) or a CNS proof (this strategy's model admits no constant key).
+/// A wrong key or a `Fail` settles nothing — another strategy may still
+/// break the lock, so such verdicts must not cancel the others.
+fn is_decisive(outcome: &AttackOutcome) -> bool {
+    matches!(outcome, AttackOutcome::KeyFound(_) | AttackOutcome::Cns)
+}
+
+/// Races whole attack strategies against one oracle under a shared
+/// [`AttackBudget`], with cooperative cancellation: the first strategy to
+/// reach a *decisive* verdict (a verified key, or a CNS proof — see
+/// [`RaceReport::winner`]) raises a shared stop flag, and every other
+/// strategy's solver aborts at its next propagate/decide round. Wrong-key
+/// and `Fail` finishes do **not** cancel the race: a strategy whose model
+/// is inadequate for the lock must not silence one that could break it.
+///
+/// `inner_k` sets the query-level portfolio width *inside* each strategy
+/// (1 = single solver per query; entrants race serially within the
+/// strategy's worker so the thread budget stays with the strategy race).
+/// *Which* strategy wins here can vary with timing — use a pure
+/// query-level [`Portfolio`] when reproducible output matters more than
+/// wall-clock — though any returned key is oracle-verified regardless.
+pub fn portfolio_attack(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    strategies: &[Strategy],
+    threads: usize,
+    inner_k: usize,
+) -> RaceReport {
+    if strategies.is_empty() {
+        let report = AttackReport {
+            outcome: AttackOutcome::Fail,
+            elapsed: std::time::Duration::ZERO,
+            iterations: 0,
+            bound: 0,
+        };
+        return RaceReport {
+            winner: None,
+            report,
+            reports: Vec::new(),
+        };
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let claimed = AtomicUsize::new(usize::MAX);
+    let pool = Pool::new(threads.max(1).min(strategies.len()));
+    let reports: Vec<AttackReport> = pool.map(strategies.len(), |i| {
+        let p = Portfolio::new(inner_k, 1).with_stop(Arc::clone(&stop));
+        let r = match strategies[i] {
+            Strategy::ScanSat => scan_sat_attack_with(locked, budget, &p),
+            Strategy::Kc2 => kc2_attack_with(locked, budget, &p),
+            Strategy::BmcInt => int_attack_with(locked, budget, &p),
+        };
+        if is_decisive(&r.outcome)
+            && claimed
+                .compare_exchange(usize::MAX, i, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            stop.store(true, Ordering::Relaxed);
+        }
+        r
+    });
+    let winner_idx = claimed.load(Ordering::SeqCst);
+    let (winner, report) = if winner_idx != usize::MAX {
+        (Some(strategies[winner_idx]), reports[winner_idx].clone())
+    } else {
+        // No decisive verdict (everything timed out, failed, or returned
+        // refuted keys): fall back to the best-ranked report, ties broken
+        // by strategy order.
+        let best = (0..reports.len())
+            .min_by_key(|&i| outcome_rank(&reports[i].outcome))
+            .expect("strategies non-empty");
+        (None, reports[best].clone())
+    };
+    RaceReport {
+        winner,
+        report,
+        reports: strategies.iter().copied().zip(reports).collect(),
+    }
+}
+
+/// Severity order for the no-decisive-verdict fallback: a broken lock
+/// outranks a held defense outranks an inconclusive run.
+fn outcome_rank(outcome: &AttackOutcome) -> u8 {
+    match outcome {
+        AttackOutcome::KeyFound(_) => 0,
+        AttackOutcome::WrongKey(_) => 1,
+        AttackOutcome::Cns => 2,
+        AttackOutcome::Fail => 3,
+        AttackOutcome::Timeout => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cutelock_circuits::s27::s27;
+    use cutelock_core::baselines::XorLock;
+    use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+    use cutelock_sat::Lit;
+
+    fn quick_budget() -> AttackBudget {
+        AttackBudget {
+            timeout: std::time::Duration::from_secs(30),
+            max_bound: 4,
+            max_iterations: 64,
+            conflict_budget: Some(500_000),
+        }
+    }
+
+    /// A PHP(n+1, n) instance loaded into a fresh solver.
+    fn pigeonhole_solver(holes: usize) -> Solver {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let var: Vec<Vec<cutelock_sat::Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_clause(&[l1, l2]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn race_agrees_with_single_on_verdicts() {
+        for threads in [1, 2, 4] {
+            let mut s = pigeonhole_solver(5);
+            let p = Portfolio::new(4, threads);
+            assert_eq!(p.race(&mut s), SatResult::Unsat, "{threads} threads");
+        }
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        let p = Portfolio::new(4, 2);
+        assert_eq!(p.race(&mut s), SatResult::Sat);
+    }
+
+    #[test]
+    fn race_model_is_thread_count_independent() {
+        // The winner (and hence the adopted model) must be identical for
+        // any worker count — the core determinism contract.
+        let mut reference: Option<Vec<bool>> = None;
+        for threads in [1, 2, 4] {
+            let mut s = Solver::new();
+            let vars: Vec<_> = (0..12).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                s.add_clause(&[Lit::positive(w[0]), Lit::positive(w[1])]);
+            }
+            s.add_clause(&[Lit::negative(vars[0]), Lit::negative(vars[11])]);
+            let p = Portfolio::new(4, threads);
+            assert_eq!(p.race(&mut s), SatResult::Sat);
+            let model: Vec<bool> = vars.iter().map(|&v| s.value(v) == Some(true)).collect();
+            match &reference {
+                None => reference = Some(model),
+                Some(m) => assert_eq!(&model, m, "{threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn race_respects_the_conflict_budget_cap() {
+        // A hard instance with a tiny budget must surrender with Unknown,
+        // and the pre-race budget must survive on the main solver.
+        let mut s = pigeonhole_solver(9);
+        s.set_conflict_budget(Some(50));
+        let p = Portfolio {
+            epoch_base: 10,
+            ..Portfolio::new(3, 2)
+        };
+        assert_eq!(p.race(&mut s), SatResult::Unknown);
+        assert_eq!(s.conflict_budget(), Some(50));
+    }
+
+    #[test]
+    fn race_restores_budget_on_the_winner() {
+        let mut s = pigeonhole_solver(4);
+        s.set_conflict_budget(Some(400_000));
+        let p = Portfolio::new(4, 2);
+        assert_eq!(p.race(&mut s), SatResult::Unsat);
+        assert_eq!(s.conflict_budget(), Some(400_000));
+    }
+
+    #[test]
+    fn raised_stop_flag_preempts_the_race() {
+        let stop = Arc::new(AtomicBool::new(true));
+        let mut s = pigeonhole_solver(4);
+        let p = Portfolio::new(4, 2).with_stop(stop);
+        assert_eq!(p.race(&mut s), SatResult::Unknown);
+    }
+
+    #[test]
+    fn single_portfolio_is_transparent() {
+        let mut raced = pigeonhole_solver(5);
+        let mut plain = pigeonhole_solver(5);
+        let p = Portfolio::single();
+        assert_eq!(p.race(&mut raced), plain.solve());
+        assert_eq!(raced.stats().conflicts, plain.stats().conflicts);
+    }
+
+    #[test]
+    fn attack_race_breaks_a_breakable_lock() {
+        let lc = XorLock::new(4, 3).lock(&s27()).unwrap();
+        let race = portfolio_attack(&lc, &quick_budget(), &Strategy::ALL, 3, 1);
+        assert!(
+            matches!(race.report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            race.report.outcome
+        );
+        assert!(race.winner.is_some());
+        assert_eq!(race.reports.len(), 3);
+    }
+
+    #[test]
+    fn attack_race_holds_on_cutelock() {
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 6,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .unwrap();
+        let race = portfolio_attack(&lc, &quick_budget(), &Strategy::ALL, 2, 1);
+        assert!(
+            race.report.outcome.defense_held(),
+            "got {}",
+            race.report.outcome
+        );
+    }
+
+    #[test]
+    fn attack_race_with_no_strategies_fails_cleanly() {
+        let lc = XorLock::new(2, 3).lock(&s27()).unwrap();
+        let race = portfolio_attack(&lc, &quick_budget(), &[], 2, 1);
+        assert!(race.winner.is_none());
+        assert_eq!(race.report.outcome, AttackOutcome::Fail);
+    }
+
+    #[test]
+    fn wrong_key_and_fail_do_not_claim_the_race() {
+        // A refuted key or a Fail settles nothing — only a verified key or
+        // a CNS proof may cancel the other strategies.
+        assert!(is_decisive(&AttackOutcome::KeyFound(
+            cutelock_core::KeyValue::from_u64(1, 2)
+        )));
+        assert!(is_decisive(&AttackOutcome::Cns));
+        assert!(!is_decisive(&AttackOutcome::WrongKey(
+            cutelock_core::KeyValue::from_u64(1, 2)
+        )));
+        assert!(!is_decisive(&AttackOutcome::Fail));
+        assert!(!is_decisive(&AttackOutcome::Timeout));
+    }
+
+    #[test]
+    fn attack_race_threads_inner_portfolio_into_strategies() {
+        // inner_k > 1 routes every strategy's queries through the
+        // query-level race; the verdict must be unaffected.
+        let lc = XorLock::new(4, 3).lock(&s27()).unwrap();
+        let race = portfolio_attack(&lc, &quick_budget(), &Strategy::ALL, 3, 3);
+        assert!(
+            matches!(race.report.outcome, AttackOutcome::KeyFound(_)),
+            "got {}",
+            race.report.outcome
+        );
+    }
+
+    #[test]
+    fn strategy_names_are_cli_modes() {
+        assert_eq!(Strategy::ScanSat.name(), "sat");
+        assert_eq!(Strategy::Kc2.name(), "kc2");
+        assert_eq!(Strategy::BmcInt.name(), "int");
+    }
+}

@@ -16,11 +16,22 @@
 use cutelock_core::LockedCircuit;
 
 use crate::bmc::{BmcMode, Engine, InitModel};
+use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackReport};
 
 /// Runs the RANE-style attack (incremental engine, secret initial state).
 pub fn rane_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    Engine::new(locked, budget, InitModel::Secret, false).run(BmcMode::Int)
+    rane_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs the RANE-style attack, racing each solver query across the given
+/// [`Portfolio`].
+pub fn rane_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
+    Engine::new(locked, budget, InitModel::Secret, false, portfolio).run(BmcMode::Int)
 }
 
 #[cfg(test)]

@@ -27,11 +27,24 @@ use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_sat::SatResult;
 
 use crate::outcome::verify_candidate_key;
+use crate::portfolio::Portfolio;
 use crate::scan::ScanModel;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
-/// Runs the scan-access oracle-guided SAT attack on `locked`.
+/// Runs the scan-access oracle-guided SAT attack on `locked` with a single
+/// solver per query (no portfolio racing).
 pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
+    scan_sat_attack_with(locked, budget, &Portfolio::single())
+}
+
+/// Runs the scan-access oracle-guided SAT attack, racing each solver query
+/// across the given [`Portfolio`] (a `k <= 1` portfolio reproduces
+/// [`scan_sat_attack`] bit for bit).
+pub fn scan_sat_attack_with(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    portfolio: &Portfolio,
+) -> AttackReport {
     let start = Instant::now();
     let report = |outcome: AttackOutcome, iterations: usize| AttackReport {
         outcome,
@@ -42,6 +55,7 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return report(AttackOutcome::Fail, 0);
     };
+    portfolio.install(m.solver());
     let diff = m.obs_differ();
     // The "observations differ" constraint holds only during the DIP hunt:
     // keep it in a retractable scope so the final key-extraction solve runs
@@ -55,7 +69,7 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
             return report(AttackOutcome::Timeout, iterations);
         };
         m.solver().set_timeout(Some(rem));
-        match m.solver().solve_scoped(&[]) {
+        match portfolio.race_scoped(m.solver(), &[]) {
             SatResult::Unknown => return report(AttackOutcome::Timeout, iterations),
             SatResult::Unsat => break,
             SatResult::Sat => {
@@ -68,14 +82,14 @@ pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackR
                 // Ask the oracle and constrain both key copies on this
                 // pattern.
                 m.constrain_pattern(&x_dip, &s_dip);
-                if m.solver().solve() == SatResult::Unsat {
+                if portfolio.race(m.solver()) == SatResult::Unsat {
                     return report(AttackOutcome::Cns, iterations);
                 }
             }
         }
     }
     m.solver().pop_scope();
-    match m.solver().solve() {
+    match portfolio.race(m.solver()) {
         SatResult::Unsat => report(AttackOutcome::Cns, iterations),
         SatResult::Unknown => report(AttackOutcome::Timeout, iterations),
         SatResult::Sat => {

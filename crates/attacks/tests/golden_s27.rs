@@ -11,11 +11,13 @@
 use std::time::Duration;
 
 use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
-use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack};
+use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack, int_attack_with};
 use cutelock_attacks::fall::fall_attack;
 use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::kc2::kc2_attack_with;
+use cutelock_attacks::portfolio::Portfolio;
 use cutelock_attacks::rane::rane_attack;
-use cutelock_attacks::sat_attack::scan_sat_attack;
+use cutelock_attacks::sat_attack::{scan_sat_attack, scan_sat_attack_with};
 use cutelock_attacks::{AttackBudget, AttackOutcome, AttackReport};
 use cutelock_circuits::s27::s27;
 use cutelock_core::baselines::{TtLock, XorLock};
@@ -177,6 +179,52 @@ fn golden_double_dip() {
         "x..x(11) iters=2",
         golden(&double_dip_attack(&cute_lock(), &budget())),
     );
+}
+
+/// Portfolio determinism regression: `--portfolio 4` must produce
+/// identical keys and iteration counts whether the race runs on 1, 2, or
+/// 4 worker threads — the whole point of the epoch/lowest-index design.
+/// Unlike the goldens above this pins run-against-run equality, not a
+/// frozen string: the diversified winner may legitimately differ from the
+/// single-solver trajectory, but never from itself across thread counts.
+#[test]
+fn golden_portfolio_thread_independence() {
+    let locks: [(&str, &dyn Fn() -> LockedCircuit); 2] = [("xor", &xor_lock), ("cute", &cute_lock)];
+    for (label, lock) in locks {
+        let lc = lock();
+        let mut reference: Option<(String, String, String)> = None;
+        for threads in [1, 2, 4] {
+            let p = Portfolio::new(4, threads);
+            let got = (
+                golden(&scan_sat_attack_with(&lc, &budget(), &p)),
+                golden(&int_attack_with(&lc, &budget(), &p)),
+                golden(&kc2_attack_with(&lc, &budget(), &p)),
+            );
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "portfolio race on {label} diverged at {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+/// A single-entrant portfolio must be byte-identical to the plain attack —
+/// the transparency guarantee the default entry points rely on.
+#[test]
+fn golden_portfolio_single_is_transparent() {
+    for lc in [xor_lock(), cute_lock()] {
+        assert_eq!(
+            golden(&scan_sat_attack_with(&lc, &budget(), &Portfolio::single())),
+            golden(&scan_sat_attack(&lc, &budget())),
+        );
+        assert_eq!(
+            golden(&int_attack_with(&lc, &budget(), &Portfolio::single())),
+            golden(&int_attack(&lc, &budget())),
+        );
+    }
 }
 
 #[test]

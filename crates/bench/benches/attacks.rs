@@ -5,11 +5,13 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack};
+use cutelock_attacks::bmc::{bbo_attack, bbo_rebuild_attack, int_attack, int_attack_with};
 use cutelock_attacks::dana::dana_attack;
 use cutelock_attacks::fall::fall_attack;
 use cutelock_attacks::kc2::kc2_attack;
-use cutelock_attacks::AttackBudget;
+use cutelock_attacks::portfolio::Portfolio;
+use cutelock_attacks::sat_attack::{scan_sat_attack, scan_sat_attack_with};
+use cutelock_attacks::{AttackBudget, AttackReport};
 use cutelock_circuits::{itc99, s27::s27};
 use cutelock_core::baselines::XorLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
@@ -82,6 +84,62 @@ fn bench_bbo_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic golden form of a report (outcome incl. key + iteration
+/// count; timing excluded), for the pre-bench determinism assertions.
+fn golden(r: &AttackReport) -> String {
+    format!("{} iters={} bound={}", r.outcome, r.iterations, r.bound)
+}
+
+/// The portfolio acceptance group: a single solver per query (first entry
+/// = the group baseline) against a 4-entrant race on the machine's
+/// workers, on the bundled s27 locks. Before timing anything the bench
+/// *asserts* the portfolio determinism contract — `--portfolio 4` results
+/// are bit-identical across 1, 2, and 4 race threads — so a regression
+/// fails loudly here as well as in the golden_s27 suite.
+///
+/// Read the comparison honestly: s27 queries finish in well under one
+/// epoch slice, so this group measures the race's *overhead floor*
+/// (K solver clones per query) — expect `slower` here. The portfolio pays
+/// on instances whose queries are hard enough that solver diversity beats
+/// a single heuristic trajectory; s27 has no such queries.
+fn bench_portfolio(c: &mut Criterion) {
+    let xor = XorLock::new(4, 3).lock(&s27()).expect("locks");
+    let multi = lock_s27(4);
+    for lc in [&xor, &multi] {
+        let reference = golden(&int_attack_with(lc, &budget(), &Portfolio::new(4, 1)));
+        for threads in [2, 4] {
+            assert_eq!(
+                golden(&int_attack_with(lc, &budget(), &Portfolio::new(4, threads))),
+                reference,
+                "portfolio race diverged at {threads} threads"
+            );
+        }
+        assert_eq!(
+            golden(&scan_sat_attack_with(lc, &budget(), &Portfolio::new(4, 4))),
+            golden(&scan_sat_attack_with(lc, &budget(), &Portfolio::new(4, 1))),
+        );
+    }
+
+    let race = Portfolio::new(4, 4);
+    let mut group = c.benchmark_group("portfolio_vs_single");
+    group.bench_function("single_int_xorlock", |b| {
+        b.iter(|| int_attack(&xor, &budget()))
+    });
+    group.bench_function("portfolio4_int_xorlock", |b| {
+        b.iter(|| int_attack_with(&xor, &budget(), &race))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("portfolio_vs_single_multikey");
+    group.bench_function("single_sat_deadend", |b| {
+        b.iter(|| scan_sat_attack(&multi, &budget()))
+    });
+    group.bench_function("portfolio4_sat_deadend", |b| {
+        b.iter(|| scan_sat_attack_with(&multi, &budget(), &race))
+    });
+    group.finish();
+}
+
 fn bench_dana(c: &mut Criterion) {
     let mut group = c.benchmark_group("dana_clustering");
     for name in ["b03", "b12", "b14"] {
@@ -117,6 +175,6 @@ fn bench_fall(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
-    targets = bench_oracle_guided, bench_bbo_incremental, bench_dana, bench_fall
+    targets = bench_oracle_guided, bench_bbo_incremental, bench_portfolio, bench_dana, bench_fall
 }
 criterion_main!(benches);

@@ -21,8 +21,8 @@
 //! the attacks must then *succeed*, which validates the attack
 //! implementations themselves.
 
-use cutelock_attacks::bmc::{bbo_attack, int_attack};
-use cutelock_attacks::kc2::kc2_attack;
+use cutelock_attacks::bmc::{bbo_attack_with, int_attack_with};
+use cutelock_attacks::kc2::kc2_attack_with;
 use cutelock_attacks::AttackReport;
 use cutelock_bench::params::{in_quick_set, TABLE3};
 use cutelock_bench::{rule, Options};
@@ -31,7 +31,7 @@ use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table3 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times]\n\
+                     [--threads N] [--no-times] [--portfolio K]\n\
                      Cute-Lock-Beh vs BBO/INT/KC2 on the Synthezza suite (paper Table III)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -65,9 +65,11 @@ fn main() {
         .filter(|(name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
         .collect();
 
-    // One job per circuit: lock it and run all three attacks. The attacks
-    // themselves are single-threaded SAT loops, so circuit-level dispatch
-    // is the unit that fills the machine.
+    // One job per circuit: lock it and run all three attacks. Circuit-level
+    // dispatch is the unit that fills the machine; `--portfolio K`
+    // additionally races K diversified solvers per SAT query inside each
+    // attack (deterministically — output stays `--threads`-independent).
+    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
         let (name, k, ki) = selected[i];
         let Some(stg) = synthezza(name) else {
@@ -95,9 +97,9 @@ fn main() {
             k,
             ki,
             reports: [
-                bbo_attack(&locked, &budget),
-                int_attack(&locked, &budget),
-                kc2_attack(&locked, &budget),
+                bbo_attack_with(&locked, &budget, &portfolio),
+                int_attack_with(&locked, &budget, &portfolio),
+                kc2_attack_with(&locked, &budget, &portfolio),
             ],
         })
     });

@@ -18,9 +18,9 @@
 //!
 //! `--single-key` validates the attacks instead (paper §IV.A).
 
-use cutelock_attacks::bmc::{bbo_attack, int_attack};
-use cutelock_attacks::kc2::kc2_attack;
-use cutelock_attacks::rane::rane_attack;
+use cutelock_attacks::bmc::{bbo_attack_with, int_attack_with};
+use cutelock_attacks::kc2::kc2_attack_with;
+use cutelock_attacks::rane::rane_attack_with;
 use cutelock_attacks::AttackReport;
 use cutelock_bench::params::{in_quick_set, TABLE4_ISCAS, TABLE4_ITC};
 use cutelock_bench::{rule, Options};
@@ -29,7 +29,7 @@ use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times]\n\
+                     [--threads N] [--no-times] [--portfolio K]\n\
                      Cute-Lock-Str vs BBO/INT/KC2/RANE on ISCAS'89 + ITC'99 (paper Table IV)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -67,6 +67,7 @@ fn main() {
         .filter(|(_, name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
         .collect();
 
+    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
         let (suite, name, k, ki) = selected[i];
         let circuit = if suite == 0 {
@@ -96,10 +97,10 @@ fn main() {
             k,
             ki,
             reports: [
-                bbo_attack(&locked, &budget),
-                int_attack(&locked, &budget),
-                kc2_attack(&locked, &budget),
-                rane_attack(&locked, &budget),
+                bbo_attack_with(&locked, &budget, &portfolio),
+                int_attack_with(&locked, &budget, &portfolio),
+                kc2_attack_with(&locked, &budget, &portfolio),
+                rane_attack_with(&locked, &budget, &portfolio),
             ],
         })
     });

@@ -18,7 +18,7 @@
 //! where it *does* find the key (81% success in FALL's own paper).
 
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
-use cutelock_attacks::fall::{fall_attack_with_budget, FallReport};
+use cutelock_attacks::fall::{fall_attack_with, fall_attack_with_budget, FallReport};
 use cutelock_attacks::AttackOutcome;
 use cutelock_bench::params::{in_quick_set, TABLE5};
 use cutelock_bench::{rule, Options};
@@ -27,7 +27,7 @@ use cutelock_core::baselines::TtLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 
 const USAGE: &str = "table5 [--quick] [--only NAME] [--baselines] [--timeout SECS] \
-                     [--threads N] [--no-times]\n\
+                     [--threads N] [--no-times] [--portfolio K]\n\
                      DANA NMI + FALL on Cute-Lock-Str-locked ITC'99 (paper Table V)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -58,6 +58,8 @@ fn main() {
         .collect();
 
     let pool = opt.pool();
+    // `--portfolio K` races FALL's SAT key-confirmation checks.
+    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = pool.map(selected.len(), |i| {
         let name = selected[i];
         let circuit = itc99(name).map_err(|e| format!("{name}: {e}"))?;
@@ -81,7 +83,7 @@ fn main() {
         .map_err(|e| format!("{name}: lock failed: {e}"))?;
         let dana = dana_attack_with_budget(&locked.netlist, &budget);
         let locked_score = score_against_ground_truth(&dana, &truth);
-        let fall = fall_attack_with_budget(&locked, &budget);
+        let fall = fall_attack_with(&locked, &budget, &portfolio);
         Ok(Row {
             name,
             clean,

@@ -36,6 +36,10 @@
 //! assert!(opt.no_times);
 //! assert!(params::in_quick_set("b10"));
 //! ```
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![warn(missing_docs)]
 
@@ -43,7 +47,7 @@ pub mod params;
 
 use std::time::Duration;
 
-use cutelock_attacks::{AttackBudget, AttackReport};
+use cutelock_attacks::{AttackBudget, AttackReport, Portfolio};
 use cutelock_sim::pool::Pool;
 
 /// Command-line options shared by the table binaries.
@@ -65,6 +69,12 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Mask wall-clock columns so output is byte-for-byte reproducible.
     pub no_times: bool,
+    /// Diversified solver entrants raced per SAT query inside each attack
+    /// (1 = no racing). Entrants run serially within a circuit worker —
+    /// circuit-level dispatch already fills the machine — and the raced
+    /// result is bit-identical to what any entrant thread count produces,
+    /// so `--portfolio` never breaks the `--threads` determinism diff.
+    pub portfolio_k: usize,
 }
 
 impl Default for Options {
@@ -77,6 +87,7 @@ impl Default for Options {
             baselines: false,
             threads: None,
             no_times: false,
+            portfolio_k: 1,
         }
     }
 }
@@ -117,6 +128,13 @@ impl Options {
                     opt.threads = Some(n.max(1));
                 }
                 "--no-times" => opt.no_times = true,
+                "--portfolio" => {
+                    let k: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--portfolio needs an entrant count\n{usage}");
+                        std::process::exit(2);
+                    });
+                    opt.portfolio_k = k.max(1);
+                }
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -143,6 +161,13 @@ impl Options {
     /// Whether this circuit should run.
     pub fn selected(&self, name: &str) -> bool {
         self.only.as_deref().is_none_or(|only| only == name)
+    }
+
+    /// The query-level portfolio implied by `--portfolio` (single-solver
+    /// when the flag is absent). Entrants race serially inside each
+    /// circuit worker; see [`Options::portfolio_k`].
+    pub fn portfolio(&self) -> Portfolio {
+        Portfolio::new(self.portfolio_k, 1)
     }
 
     /// The worker pool implied by `--threads` (one worker per core when the
@@ -234,6 +259,23 @@ mod tests {
         // Zero clamps to one worker rather than erroring.
         let o = parse(&["--threads", "0"]);
         assert_eq!(o.pool().threads(), 1);
+    }
+
+    #[test]
+    fn portfolio_flag_builds_a_race() {
+        let o = parse(&[]);
+        assert_eq!(o.portfolio_k, 1);
+        assert_eq!(o.portfolio().k, 1, "default is single-solver");
+        let o = parse(&["--portfolio", "4"]);
+        assert_eq!(o.portfolio().k, 4);
+        assert_eq!(
+            o.portfolio().threads,
+            1,
+            "entrants race serially in workers"
+        );
+        // Zero clamps to the single-solver path rather than erroring.
+        let o = parse(&["--portfolio", "0"]);
+        assert_eq!(o.portfolio().k, 1);
     }
 
     #[test]

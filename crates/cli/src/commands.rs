@@ -3,14 +3,15 @@
 use std::fs;
 use std::time::Duration;
 
-use cutelock_attacks::appsat::{appsat_attack, double_dip_attack, AppSatConfig};
-use cutelock_attacks::bmc::{bbo_attack, int_attack};
+use cutelock_attacks::appsat::{appsat_attack_with, double_dip_attack_with, AppSatConfig};
+use cutelock_attacks::bmc::{bbo_attack_with, int_attack_with};
 use cutelock_attacks::certify::prove_locked_equivalence;
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
-use cutelock_attacks::fall::fall_attack_with_budget;
-use cutelock_attacks::kc2::kc2_attack;
-use cutelock_attacks::rane::rane_attack;
-use cutelock_attacks::sat_attack::scan_sat_attack;
+use cutelock_attacks::fall::fall_attack_with;
+use cutelock_attacks::kc2::kc2_attack_with;
+use cutelock_attacks::portfolio::{portfolio_attack, Portfolio, Strategy};
+use cutelock_attacks::rane::rane_attack_with;
+use cutelock_attacks::sat_attack::scan_sat_attack_with;
 use cutelock_attacks::AttackBudget;
 use cutelock_circuits::{iscas89, iscas89_names, itc99, itc99_names};
 use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
@@ -40,10 +41,15 @@ COMMANDS:
                from a key file instead of drawing it from --seed)
               [--keys-out FILE]   (writes the key schedule)
   attack    Run an attack against a locked netlist
-              --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana
+              --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana|race
               --locked FILE --oracle FILE [--timeout SECS] [--quick]
+              [--portfolio K] [--threads N]
               (--quick caps the budget for a smoke run; without
-               --locked/--oracle it locks a built-in s27 and attacks that)
+               --locked/--oracle it locks a built-in s27 and attacks that;
+               --portfolio K races K diversified solvers per SAT query
+               across N worker threads — the result is bit-identical for
+               any N; --mode race instead races whole strategies
+               (sat/kc2/int) with cooperative cancellation)
   verify    Prove a locked netlist cycle-exact against its original under
             a key schedule (SAT, all input sequences up to the bound)
               --locked FILE --original FILE --keys FILE
@@ -247,9 +253,31 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         None if quick => "sat",
         None => return Err("missing required flag --mode".into()),
     };
+    let k: usize = args.num("portfolio", 1)?;
+    let threads: usize = args.num("threads", 1)?;
+    let portfolio = Portfolio::new(k, threads);
     match mode {
+        "race" => {
+            // Default to one worker per strategy; an explicit --threads
+            // wins (e.g. `--threads 1` serializes the strategies).
+            // `--portfolio K` threads through as each strategy's
+            // query-level race width.
+            let race_threads = if args.opt("threads").is_some() {
+                threads
+            } else {
+                Strategy::ALL.len()
+            };
+            let race = portfolio_attack(&locked, &budget, &Strategy::ALL, race_threads, k);
+            for (strategy, report) in &race.reports {
+                println!("  {:<4} {report}", strategy.name());
+            }
+            match race.winner {
+                Some(w) => println!("race: winner={} {}", w.name(), race.report),
+                None => println!("race: no decisive verdict; best was {}", race.report),
+            }
+        }
         "fall" => {
-            let r = fall_attack_with_budget(&locked, &budget);
+            let r = fall_attack_with(&locked, &budget, &portfolio);
             println!(
                 "FALL: {} candidates, {} keys, {:.1}s -> {}",
                 r.candidates,
@@ -280,13 +308,15 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         }
         m => {
             let report = match m {
-                "sat" => scan_sat_attack(&locked, &budget),
-                "bbo" => bbo_attack(&locked, &budget),
-                "int" => int_attack(&locked, &budget),
-                "kc2" => kc2_attack(&locked, &budget),
-                "rane" => rane_attack(&locked, &budget),
-                "appsat" => appsat_attack(&locked, &budget, &AppSatConfig::default()),
-                "double-dip" => double_dip_attack(&locked, &budget),
+                "sat" => scan_sat_attack_with(&locked, &budget, &portfolio),
+                "bbo" => bbo_attack_with(&locked, &budget, &portfolio),
+                "int" => int_attack_with(&locked, &budget, &portfolio),
+                "kc2" => kc2_attack_with(&locked, &budget, &portfolio),
+                "rane" => rane_attack_with(&locked, &budget, &portfolio),
+                "appsat" => {
+                    appsat_attack_with(&locked, &budget, &AppSatConfig::default(), &portfolio)
+                }
+                "double-dip" => double_dip_attack_with(&locked, &budget, &portfolio),
                 other => return Err(format!("unknown attack mode `{other}`")),
             };
             println!("{m}: {report}");
@@ -397,6 +427,27 @@ mod tests {
     fn attack_quick_runs_standalone_smoke() {
         // `cutelock attack --quick` needs no files and a bounded budget.
         dispatch(&sv(&["attack", "--quick"])).unwrap();
+    }
+
+    #[test]
+    fn attack_quick_portfolio_is_deterministic_across_threads() {
+        // The same quick attack raced with 2 entrants must run on any
+        // worker count (output equality is pinned by the golden_s27
+        // portfolio regression; here we exercise the CLI plumbing).
+        dispatch(&sv(&[
+            "attack",
+            "--quick",
+            "--portfolio",
+            "2",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn attack_quick_race_mode_runs() {
+        dispatch(&sv(&["attack", "--quick", "--mode", "race"])).unwrap();
     }
 
     #[test]

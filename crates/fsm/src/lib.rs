@@ -29,6 +29,10 @@
 //!     .collect();
 //! assert_eq!(outs, vec![false, false, false, true]); // detects 1001
 //! ```
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

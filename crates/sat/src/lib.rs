@@ -21,7 +21,16 @@
 //!   [`Netlist`](cutelock_netlist::Netlist)s plus gate-level helpers for
 //!   building miters directly in CNF (the primitive layer under
 //!   [`encode`]);
+//! * [`config`] — portfolio diversification: [`SolverConfig`] perturbs
+//!   variable ordering, polarities, and restart cadence per portfolio
+//!   entrant, and [`Solver::set_stop`] gives racing callers a cooperative
+//!   cancellation flag polled inside the search loop;
 //! * [`dimacs`] — DIMACS CNF reader/writer for interoperability and tests.
+//!
+//! The full pipeline walkthrough — including where every SAT instance in
+//! the workspace comes from — lives in `docs/ARCHITECTURE.md` at the
+//! repository root; the thread-count-independence rules this crate's
+//! portfolio hooks must uphold are codified in `docs/DETERMINISM.md`.
 //!
 //! # Example
 //!
@@ -40,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod dimacs;
 pub mod encode;
 pub mod equiv;
@@ -47,6 +57,7 @@ mod lit;
 mod solver;
 pub mod tseitin;
 
+pub use config::{PolarityMode, SolverConfig};
 pub use encode::{Binding, CircuitEncoder, Frame, MiterBuilder, PortVals};
 pub use lit::{Lit, Var};
 pub use solver::{SatResult, Solver, SolverStats};

@@ -1,5 +1,8 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::config::{splitmix64, PolarityMode, SolverConfig};
 use crate::{Lit, Var};
 
 /// Result of a satisfiability query.
@@ -97,6 +100,16 @@ pub struct Solver {
     num_learnts: usize,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// Luby restart base multiplier (conflicts before the first restart).
+    restart_base: u64,
+    /// Cooperative cancellation: when the shared flag reads `true`, the
+    /// search loop aborts with [`SatResult::Unknown`] at its next check.
+    stop: Option<Arc<AtomicBool>>,
+    /// Second cancellation slot, reserved for the portfolio race so an
+    /// entrant can be retired by its race *without* masking an installed
+    /// attack-level [`stop`](Solver::set_stop) flag — the search polls
+    /// both.
+    race_stop: Option<Arc<AtomicBool>>,
     /// Activation literals of the currently open scopes (innermost last),
     /// each with the number of clauses added while it was innermost.
     scopes: Vec<(Lit, usize)>,
@@ -138,6 +151,9 @@ impl Solver {
             num_learnts: 0,
             conflict_budget: None,
             deadline: None,
+            restart_base: 100,
+            stop: None,
+            race_stop: None,
             scopes: Vec::new(),
             garbage_estimate: 0,
             scope_gc: true,
@@ -194,6 +210,91 @@ impl Solver {
     /// probes) verify they restored it on every exit path.
     pub fn conflict_budget(&self) -> Option<u64> {
         self.conflict_budget
+    }
+
+    /// True when a deadline set by [`set_timeout`](Solver::set_timeout) has
+    /// already passed — the portfolio epoch loop polls this between epochs
+    /// so an expired attack budget ends the race instead of another slice.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Installs (or removes) a shared cooperative-cancellation flag.
+    ///
+    /// The search loop polls the flag at the same cadence as the deadline —
+    /// once per propagate/decide round — and aborts with
+    /// [`SatResult::Unknown`] when it reads `true`. This is how portfolio
+    /// races retire laggard entrants and how an attack-level race cancels
+    /// whole losing strategies: flip one [`AtomicBool`] and every solver
+    /// holding it stops at its next check, leaving its clause database
+    /// intact. Cloned solvers share the installed flag.
+    pub fn set_stop(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// The currently installed cancellation flag, if any.
+    pub fn stop_flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.stop.as_ref()
+    }
+
+    /// Installs (or removes) the *second* cancellation flag, polled
+    /// alongside [`set_stop`](Solver::set_stop)'s. The portfolio race uses
+    /// this slot to retire laggard entrants without masking an installed
+    /// attack-level stop flag — a raced entrant aborts at its next
+    /// propagate/decide round when **either** flag reads `true`.
+    pub fn set_race_stop(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.race_stop = stop;
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+            || self
+                .race_stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Applies a portfolio diversification (see [`SolverConfig`]): restart
+    /// cadence, initial phases, and a seeded perturbation of the VSIDS
+    /// activities (with the ordering heap rebuilt to match). The default
+    /// config is a no-op, so entrant 0 of a portfolio behaves exactly like
+    /// the undiversified solver. Deterministic: the same config applied to
+    /// the same solver state always yields the same search.
+    pub fn apply_config(&mut self, cfg: &SolverConfig) {
+        self.restart_base = cfg.restart_base.max(1);
+        match cfg.polarity {
+            PolarityMode::Keep => {}
+            PolarityMode::AllTrue => self.polarity.iter_mut().for_each(|p| *p = true),
+            PolarityMode::AllFalse => self.polarity.iter_mut().for_each(|p| *p = false),
+            PolarityMode::Seeded => {
+                let mut s = splitmix64(cfg.var_seed ^ 0x9047_u64);
+                for p in &mut self.polarity {
+                    s = splitmix64(s);
+                    *p = s & 1 == 1;
+                }
+            }
+        }
+        if cfg.var_seed != 0 {
+            // Nudge every activity by up to half the current increment:
+            // enough to reshuffle VSIDS tie-breaking (and recent-history
+            // ordering) without drowning the structure already learnt.
+            let inc = self.var_inc;
+            let mut s = cfg.var_seed;
+            for a in &mut self.activity {
+                s = splitmix64(s);
+                *a += inc * 0.5 * ((s >> 11) as f64 / (1u64 << 53) as f64);
+            }
+            self.rebuild_heap();
+        }
+    }
+
+    /// Re-heapifies the branching heap after a bulk activity change.
+    fn rebuild_heap(&mut self) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.heap_sift_down(i);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -447,7 +548,7 @@ impl Solver {
         let budget_start = self.stats.conflicts;
         let mut restart_idx = 0u64;
         let result = loop {
-            let limit = 100 * luby(restart_idx);
+            let limit = self.restart_base * luby(restart_idx);
             restart_idx += 1;
             match self.search(assumptions, limit, budget_start) {
                 Some(r) => break r,
@@ -521,6 +622,12 @@ impl Solver {
                     if Instant::now() >= dl {
                         return Some(SatResult::Unknown);
                     }
+                }
+                // Cooperative cancellation (portfolio laggards, raced
+                // attack strategies): polled every propagate/decide round,
+                // like the deadline.
+                if self.stop_requested() {
+                    return Some(SatResult::Unknown);
                 }
                 if self.num_learnts > 4000 + 2 * self.clauses.len() {
                     self.reduce_db();
@@ -1373,6 +1480,165 @@ mod tests {
         assert_eq!(s.conflict_budget(), Some(42));
         s.set_conflict_budget(None);
         assert_eq!(s.conflict_budget(), None);
+    }
+
+    #[test]
+    fn stop_flag_aborts_with_unknown() {
+        // A pre-set stop flag must abort a hard instance immediately; after
+        // clearing the flag the same solver finishes the proof.
+        let holes = 7;
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Var(0); holes]; pigeons];
+        for p in var.iter_mut() {
+            for h in p.iter_mut() {
+                *h = s.new_var();
+            }
+        }
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_clause(&[l1, l2]);
+                }
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_stop(Some(Arc::clone(&flag)));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.set_stop(None);
+        assert!(s.stop_flag().is_none());
+    }
+
+    #[test]
+    fn either_cancellation_slot_aborts_the_search() {
+        // The attack-level flag must keep working while a race flag is
+        // installed in the second slot, and vice versa.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        let outer = Arc::new(AtomicBool::new(false));
+        let race = Arc::new(AtomicBool::new(false));
+        s.set_stop(Some(Arc::clone(&outer)));
+        s.set_race_stop(Some(Arc::clone(&race)));
+        assert_eq!(s.solve(), SatResult::Sat, "both flags low: solves");
+        outer.store(true, Ordering::Relaxed);
+        assert_eq!(s.solve(), SatResult::Unknown, "outer flag alone aborts");
+        outer.store(false, Ordering::Relaxed);
+        race.store(true, Ordering::Relaxed);
+        assert_eq!(s.solve(), SatResult::Unknown, "race flag alone aborts");
+        s.set_race_stop(None);
+        assert_eq!(s.solve(), SatResult::Sat, "cleared race slot solves again");
+    }
+
+    #[test]
+    fn cloned_solvers_share_the_stop_flag() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::positive(a)]);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_stop(Some(Arc::clone(&flag)));
+        let clone = s.clone();
+        assert!(Arc::ptr_eq(clone.stop_flag().expect("flag cloned"), &flag));
+    }
+
+    #[test]
+    fn default_config_is_a_no_op() {
+        // Applying the default config must not disturb the search: the
+        // model of a deterministic instance stays identical.
+        let build = || {
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+            s.add_clause(&[Lit::positive(vars[0]), Lit::positive(vars[1])]);
+            s.add_clause(&[Lit::negative(vars[0]), Lit::positive(vars[2])]);
+            s.add_clause(&[Lit::negative(vars[3]), Lit::negative(vars[4])]);
+            (s, vars)
+        };
+        let (mut plain, vars) = build();
+        assert_eq!(plain.solve(), SatResult::Sat);
+        let plain_model: Vec<_> = vars.iter().map(|&v| plain.value(v)).collect();
+        let (mut configured, vars2) = build();
+        configured.apply_config(&SolverConfig::default());
+        assert_eq!(configured.solve(), SatResult::Sat);
+        let conf_model: Vec<_> = vars2.iter().map(|&v| configured.value(v)).collect();
+        assert_eq!(plain_model, conf_model);
+        assert_eq!(plain.stats().decisions, configured.stats().decisions);
+    }
+
+    #[test]
+    fn diversified_configs_stay_sound() {
+        // Every member of the standard family must agree with the plain
+        // solver on verdicts (models may differ — that is the point).
+        for i in 0..6 {
+            let cfg = SolverConfig::diversified(i);
+            let r = {
+                let mut s = Solver::new();
+                let vars: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+                s.apply_config(&cfg);
+                s.add_clause(&[Lit::positive(vars[0]), Lit::positive(vars[1])]);
+                s.add_clause(&[Lit::negative(vars[0])]);
+                s.add_clause(&[Lit::negative(vars[1]), Lit::positive(vars[2])]);
+                s.solve()
+            };
+            assert_eq!(r, SatResult::Sat, "config {i}");
+            // UNSAT side: PHP(5, 4) must stay a proof under the perturbed
+            // heuristics — the config is applied to THIS solver, not a
+            // fresh one.
+            let holes = 4;
+            let mut s = Solver::new();
+            let var: Vec<Vec<Var>> = (0..holes + 1)
+                .map(|_| (0..holes).map(|_| s.new_var()).collect())
+                .collect();
+            for p in &var {
+                let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+                s.add_clause(&cl);
+            }
+            for h in 0..holes {
+                let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+                for (j, &l1) in column.iter().enumerate() {
+                    for &l2 in column.iter().skip(j + 1) {
+                        s.add_clause(&[l1, l2]);
+                    }
+                }
+            }
+            s.apply_config(&cfg);
+            assert_eq!(s.solve(), SatResult::Unsat, "config {i} pigeonhole");
+        }
+    }
+
+    #[test]
+    fn seeded_polarity_differs_from_keep() {
+        let mut s = Solver::new();
+        for _ in 0..64 {
+            s.new_var();
+        }
+        let before: Vec<bool> = (0..64).map(|i| s.polarity[i]).collect();
+        s.apply_config(&SolverConfig {
+            var_seed: 42,
+            polarity: PolarityMode::Seeded,
+            restart_base: 100,
+            conflict_stagger: 0,
+        });
+        let after: Vec<bool> = (0..64).map(|i| s.polarity[i]).collect();
+        assert_ne!(before, after, "64 seeded phases should not all match");
+        assert!(after.iter().any(|&p| p) && after.iter().any(|&p| !p));
+    }
+
+    #[test]
+    fn deadline_expired_tracks_set_timeout() {
+        let mut s = Solver::new();
+        assert!(!s.deadline_expired());
+        s.set_timeout(Some(Duration::ZERO));
+        assert!(s.deadline_expired());
+        s.set_timeout(None);
+        assert!(!s.deadline_expired());
     }
 
     #[test]

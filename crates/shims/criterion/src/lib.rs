@@ -16,7 +16,12 @@
 //! * **median with min/max spread** — the reported figure is the
 //!   median-of-samples (robust to scheduler outliers in a way the old
 //!   whole-loop mean was not), printed alongside the min–max range so a
-//!   noisy run is visible as a wide spread rather than a silent lie.
+//!   noisy run is visible as a wide spread rather than a silent lie;
+//! * **IQR outlier rejection** — with five or more samples, samples
+//!   outside Tukey's fences (`[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`) are dropped
+//!   before the median is taken, and the report says how many were
+//!   rejected. The raw min–max spread is still printed, so a run that
+//!   needed rejection is visibly noisy rather than silently smoothed.
 //!
 //! Beyond per-benchmark timing, a [`BenchmarkGroup`] records every
 //! [`Measurement`] it takes and prints a **comparison table** when it
@@ -25,6 +30,10 @@
 //! `scope_gc_vs_leak` and `bbo_rebuild_vs_incremental` groups report
 //! defensible — measured, spread-qualified — numbers without the real
 //! criterion's baseline files.
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,18 +89,22 @@ impl From<String> for BenchmarkId {
     }
 }
 
-/// One benchmark's timing summary: median of the individual samples with
-/// the min–max spread.
+/// One benchmark's timing summary: median of the individual samples
+/// (after IQR outlier rejection) with the raw min–max spread.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Median of the per-iteration samples.
+    /// Median of the per-iteration samples that survived outlier
+    /// rejection.
     pub median: Duration,
-    /// Fastest sample.
+    /// Fastest sample (raw, before rejection).
     pub min: Duration,
-    /// Slowest sample.
+    /// Slowest sample (raw, before rejection).
     pub max: Duration,
-    /// Number of timed samples taken.
+    /// Number of timed samples taken (raw, before rejection).
     pub samples: usize,
+    /// Samples rejected as outliers by Tukey's IQR fences. Rejection only
+    /// runs with five or more samples (quartiles of fewer are noise).
+    pub outliers: usize,
     /// Number of untimed warm-up iterations that preceded them.
     pub warm_up_iters: u64,
 }
@@ -103,23 +116,55 @@ impl Measurement {
         }
         samples.sort();
         let n = samples.len();
-        let median = if n % 2 == 1 {
-            samples[n / 2]
+        // Tukey fences: reject samples outside [Q1 - 1.5*IQR, Q3 + 1.5*IQR]
+        // so one scheduler hiccup cannot drag the median of a small sample
+        // set. The quartile samples themselves always sit inside the
+        // fences, so the kept set is never empty.
+        let kept: Vec<Duration> = if n >= 5 {
+            let q1 = samples[n / 4];
+            let q3 = samples[(3 * n) / 4];
+            let iqr = q3.saturating_sub(q1);
+            let lo = q1.saturating_sub(iqr * 3 / 2);
+            let hi = q3 + iqr * 3 / 2;
+            samples
+                .iter()
+                .copied()
+                .filter(|&s| s >= lo && s <= hi)
+                .collect()
         } else {
-            (samples[n / 2 - 1] + samples[n / 2]) / 2
+            samples.clone()
+        };
+        let k = kept.len();
+        let median = if k % 2 == 1 {
+            kept[k / 2]
+        } else {
+            (kept[k / 2 - 1] + kept[k / 2]) / 2
         };
         Some(Self {
             median,
             min: samples[0],
             max: samples[n - 1],
             samples: n,
+            outliers: n - k,
             warm_up_iters,
         })
     }
 
-    /// The `median (min…max)` form used in reports.
+    /// The `median (min…max)` form used in reports, flagging how many
+    /// samples the IQR rejection dropped.
     pub fn spread_string(&self) -> String {
-        format!("{:?} ({:?}…{:?})", self.median, self.min, self.max)
+        if self.outliers > 0 {
+            format!(
+                "{:?} ({:?}…{:?}, {} outlier{} dropped)",
+                self.median,
+                self.min,
+                self.max,
+                self.outliers,
+                if self.outliers == 1 { "" } else { "s" }
+            )
+        } else {
+            format!("{:?} ({:?}…{:?})", self.median, self.min, self.max)
+        }
     }
 }
 
@@ -463,7 +508,9 @@ mod tests {
 
     #[test]
     fn median_is_robust_to_one_outlier() {
-        // Synthetic check of the summary math itself.
+        // Synthetic check of the summary math itself. Under five samples
+        // the IQR rejection stays off (quartiles of three are noise), but
+        // the median alone already shrugs off the hiccup.
         let m = Measurement::from_samples(
             vec![
                 Duration::from_millis(10),
@@ -476,6 +523,7 @@ mod tests {
         assert_eq!(m.median, Duration::from_millis(11));
         assert_eq!(m.min, Duration::from_millis(10));
         assert_eq!(m.max, Duration::from_millis(500));
+        assert_eq!(m.outliers, 0, "no rejection under five samples");
         // Even sample counts average the two middle samples.
         let even = Measurement::from_samples(
             vec![
@@ -489,6 +537,43 @@ mod tests {
         .unwrap();
         assert_eq!(even.median, Duration::from_millis(25));
         assert!(Measurement::from_samples(Vec::new(), 0).is_none());
+    }
+
+    #[test]
+    fn iqr_rejection_drops_the_hiccup_from_the_median() {
+        // With an even sample count, one huge sample shifts the plain
+        // median ((12+13)/2 = 12.5 ms here); Tukey rejection restores the
+        // honest center while the raw spread still shows the hiccup.
+        let m = Measurement::from_samples(
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(11),
+                Duration::from_millis(12),
+                Duration::from_millis(13),
+                Duration::from_millis(14),
+                Duration::from_millis(500), // scheduler hiccup
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(m.outliers, 1);
+        assert_eq!(m.median, Duration::from_millis(12));
+        assert_eq!(m.max, Duration::from_millis(500), "raw spread survives");
+        assert_eq!(m.samples, 6, "sample count stays raw");
+        assert!(
+            m.spread_string().contains("1 outlier dropped"),
+            "got {}",
+            m.spread_string()
+        );
+    }
+
+    #[test]
+    fn iqr_rejection_keeps_clean_runs_untouched() {
+        let samples: Vec<Duration> = (0..10).map(|i| Duration::from_millis(20 + i)).collect();
+        let m = Measurement::from_samples(samples, 1).unwrap();
+        assert_eq!(m.outliers, 0);
+        assert_eq!(m.median, Duration::from_micros(24_500));
+        assert!(!m.spread_string().contains("outlier"));
     }
 
     #[test]

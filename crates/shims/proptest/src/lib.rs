@@ -7,6 +7,10 @@
 //! vendored. This shim trades shrinking and persistence for a deterministic
 //! exhaustive-by-seed runner: every test body executes `cases` times with
 //! values drawn from a per-case seeded RNG, so any failure is reproducible.
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,6 +7,10 @@
 //! same trait surface is a faithful substitute. The generator is
 //! xoshiro256++ seeded through SplitMix64 — the same construction the real
 //! `rand_xoshiro` family uses.
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -43,6 +43,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The full pipeline walkthrough and crate map live in
+//! `docs/ARCHITECTURE.md` at the repository root; the thread-count
+//! independence rules are codified in `docs/DETERMINISM.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use cutelock_attacks::dana::{dana_attack, nmi, score_against_ground_truth};
     pub use cutelock_attacks::fall::fall_attack;
     pub use cutelock_attacks::kc2::kc2_attack;
+    pub use cutelock_attacks::portfolio::{portfolio_attack, Portfolio, Strategy};
     pub use cutelock_attacks::rane::rane_attack;
     pub use cutelock_attacks::sat_attack::scan_sat_attack;
     pub use cutelock_attacks::{AttackBudget, AttackOutcome, AttackReport};
