@@ -152,13 +152,16 @@ pub fn appsat_attack_with(
 /// Runs the Double-DIP attack: each iteration demands an input pattern on
 /// which the two key copies disagree **and** at least one of them also
 /// disagrees with a third key copy — guaranteeing every DIP prunes two or
-/// more wrong keys.
+/// more wrong keys. Delegates to [`run_attack`](crate::run_attack) with
+/// [`AttackStrategy::DoubleDip`](crate::AttackStrategy::DoubleDip).
 pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    double_dip_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::DoubleDip).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs Double-DIP, racing each solver query across the given
 /// [`Portfolio`].
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn double_dip_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,

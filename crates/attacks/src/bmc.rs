@@ -72,13 +72,16 @@ pub enum InitModel {
     Secret,
 }
 
-/// Runs the BBO-mode attack.
+/// Runs the BBO-mode attack. Delegates to [`run_attack`](crate::run_attack)
+/// with [`AttackStrategy::Bbo`](crate::AttackStrategy::Bbo).
 pub fn bbo_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    bbo_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Bbo).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs the BBO-mode attack, racing each solver query across the given
 /// [`Portfolio`].
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn bbo_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,
@@ -94,13 +97,16 @@ pub fn bbo_rebuild_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Atta
     Engine::new(locked, budget, InitModel::Reset, false, &portfolio).run(BmcMode::BboRebuild)
 }
 
-/// Runs the INT-mode attack.
+/// Runs the INT-mode attack. Delegates to [`run_attack`](crate::run_attack)
+/// with [`AttackStrategy::Int`](crate::AttackStrategy::Int).
 pub fn int_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    int_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Int).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs the INT-mode attack, racing each solver query across the given
 /// [`Portfolio`].
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn int_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,

@@ -16,12 +16,16 @@ use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackReport};
 
 /// Runs the KC2-mode attack: incremental unrolling plus key-bit fixation.
+/// Delegates to [`run_attack`](crate::run_attack) with
+/// [`AttackStrategy::Kc2`](crate::AttackStrategy::Kc2).
 pub fn kc2_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    kc2_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Kc2).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs the KC2-mode attack, racing each solver query across the given
 /// [`Portfolio`] (the cheap key-bit probes stay single-solver).
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn kc2_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,

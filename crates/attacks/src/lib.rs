@@ -25,6 +25,12 @@
 //!   (bit-identical for any thread count), and [`portfolio_attack`] races
 //!   whole strategies with cooperative cancellation.
 //!
+//! All of the above are driven through **one door**: build an
+//! [`AttackSpec`] (strategy + budget + portfolio) and call [`run_attack`]
+//! — the request type the CLI subcommands, the table bins, and the
+//! `cutelock serve` job daemon share. The per-attack free functions
+//! survive as delegating wrappers pinned by the golden regression suite.
+//!
 //! The full pipeline walkthrough lives in `docs/ARCHITECTURE.md` at the
 //! repository root; the determinism rules the portfolio layer upholds are
 //! codified in `docs/DETERMINISM.md`.
@@ -77,6 +83,10 @@ pub mod portfolio;
 pub mod rane;
 pub mod sat_attack;
 mod scan;
+pub mod spec;
 
 pub use outcome::{AttackBudget, AttackOutcome, AttackReport};
-pub use portfolio::{portfolio_attack, Portfolio, RaceReport, Strategy};
+pub use portfolio::{
+    portfolio_attack, portfolio_attack_with_stop, Portfolio, RaceReport, Strategy,
+};
+pub use spec::{run_attack, run_race, AttackSpec, AttackStrategy};

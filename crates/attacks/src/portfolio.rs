@@ -38,16 +38,15 @@
 //!
 //! ```
 //! use cutelock_attacks::portfolio::Portfolio;
-//! use cutelock_attacks::sat_attack::scan_sat_attack_with;
-//! use cutelock_attacks::AttackBudget;
+//! use cutelock_attacks::{run_attack, AttackSpec, AttackStrategy};
 //! use cutelock_circuits::s27::s27;
 //! use cutelock_core::baselines::XorLock;
 //!
 //! let locked = XorLock::new(4, 3).lock(&s27()).unwrap();
-//! let budget = AttackBudget::default();
 //! // Race 4 diversified solvers per DIP query on 2 worker threads; the
 //! // result is identical to what `threads: 1` would produce.
-//! let report = scan_sat_attack_with(&locked, &budget, &Portfolio::new(4, 2));
+//! let spec = AttackSpec::new(AttackStrategy::ScanSat).with_portfolio(Portfolio::new(4, 2));
+//! let report = run_attack(&locked, &spec);
 //! assert!(!report.outcome.defense_held() || report.iterations > 0);
 //! ```
 
@@ -244,11 +243,13 @@ impl Portfolio {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// The combinational scan-access SAT attack
-    /// ([`scan_sat_attack_with`]).
+    /// ([`crate::sat_attack::scan_sat_attack`]).
     ScanSat,
-    /// KC2: incremental BMC plus key-bit fixation ([`kc2_attack_with`]).
+    /// KC2: incremental BMC plus key-bit fixation
+    /// ([`crate::kc2::kc2_attack`]).
     Kc2,
-    /// The incremental sequential unrolling attack ([`int_attack_with`]).
+    /// The incremental sequential unrolling attack
+    /// ([`crate::bmc::int_attack`]).
     BmcInt,
 }
 
@@ -311,6 +312,23 @@ pub fn portfolio_attack(
     threads: usize,
     inner_k: usize,
 ) -> RaceReport {
+    portfolio_attack_with_stop(locked, budget, strategies, threads, inner_k, None)
+}
+
+/// [`portfolio_attack`] with an externally owned stop flag: when `stop` is
+/// provided it doubles as a **cancellation slot** — raising it from
+/// outside (the job daemon's `CANCEL`) aborts every strategy at its next
+/// propagate/decide round, exactly as an internal decisive win would. The
+/// cancelled strategies report [`AttackOutcome::Timeout`] and the race
+/// returns with no winner.
+pub fn portfolio_attack_with_stop(
+    locked: &LockedCircuit,
+    budget: &AttackBudget,
+    strategies: &[Strategy],
+    threads: usize,
+    inner_k: usize,
+    stop: Option<Arc<AtomicBool>>,
+) -> RaceReport {
     if strategies.is_empty() {
         let report = AttackReport {
             outcome: AttackOutcome::Fail,
@@ -324,7 +342,7 @@ pub fn portfolio_attack(
             reports: Vec::new(),
         };
     }
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = stop.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     let claimed = AtomicUsize::new(usize::MAX);
     let pool = Pool::new(threads.max(1).min(strategies.len()));
     let reports: Vec<AttackReport> = pool.map(strategies.len(), |i| {

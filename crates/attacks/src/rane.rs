@@ -20,12 +20,16 @@ use crate::portfolio::Portfolio;
 use crate::{AttackBudget, AttackReport};
 
 /// Runs the RANE-style attack (incremental engine, secret initial state).
+/// Delegates to [`run_attack`](crate::run_attack) with
+/// [`AttackStrategy::Rane`](crate::AttackStrategy::Rane).
 pub fn rane_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    rane_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Rane).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs the RANE-style attack, racing each solver query across the given
 /// [`Portfolio`].
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn rane_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,

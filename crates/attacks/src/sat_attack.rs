@@ -32,14 +32,18 @@ use crate::scan::ScanModel;
 use crate::{AttackBudget, AttackOutcome, AttackReport};
 
 /// Runs the scan-access oracle-guided SAT attack on `locked` with a single
-/// solver per query (no portfolio racing).
+/// solver per query (no portfolio racing). Delegates to
+/// [`run_attack`](crate::run_attack) with
+/// [`AttackStrategy::ScanSat`](crate::AttackStrategy::ScanSat).
 pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    scan_sat_attack_with(locked, budget, &Portfolio::single())
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::ScanSat).with_budget(*budget);
+    crate::run_attack(locked, &spec)
 }
 
 /// Runs the scan-access oracle-guided SAT attack, racing each solver query
 /// across the given [`Portfolio`] (a `k <= 1` portfolio reproduces
 /// [`scan_sat_attack`] bit for bit).
+#[doc(hidden)] // build an `AttackSpec` instead; kept public for the goldens
 pub fn scan_sat_attack_with(
     locked: &LockedCircuit,
     budget: &AttackBudget,

@@ -1,0 +1,275 @@
+//! The unified attack-request API: one spec type, one entry point.
+//!
+//! Before this module every attack exposed a base function plus a
+//! `*_with(…, &Portfolio)` variant — sixteen entry points a caller had to
+//! dispatch between by hand, duplicated across the CLI, the table bins,
+//! and (now) the job daemon. [`AttackSpec`] collapses that sprawl: a spec
+//! names the [`AttackStrategy`], carries the [`AttackBudget`], and carries
+//! the [`Portfolio`], and [`run_attack`] is the **one door** every caller
+//! drives attacks through. The `LockedCircuit` argument bundles the locked
+//! netlist with its oracle (the original), so a spec plus a circuit fully
+//! determines a run.
+//!
+//! The legacy per-attack free functions survive as one-line delegating
+//! wrappers (the golden regression suite pins their outcomes bit-identical
+//! through this refactor), and the `*_with` variants remain public for the
+//! goldens but are `#[doc(hidden)]` — new code should build a spec.
+//!
+//! # Example
+//!
+//! ```
+//! use cutelock_attacks::{run_attack, AttackSpec, AttackStrategy};
+//! use cutelock_circuits::s27::s27;
+//! use cutelock_core::baselines::XorLock;
+//!
+//! let locked = XorLock::new(4, 3).lock(&s27()).unwrap();
+//! let spec = AttackSpec::new(AttackStrategy::ScanSat);
+//! let report = run_attack(&locked, &spec);
+//! assert!(!report.outcome.defense_held(), "XOR locks fall to the SAT attack");
+//! ```
+
+use cutelock_core::LockedCircuit;
+
+use crate::appsat::{appsat_attack_with, double_dip_attack_with, AppSatConfig};
+use crate::bmc::{bbo_attack_with, int_attack_with};
+use crate::fall::fall_attack_with;
+use crate::kc2::kc2_attack_with;
+use crate::portfolio::{portfolio_attack_with_stop, Portfolio, RaceReport, Strategy};
+use crate::rane::rane_attack_with;
+use crate::sat_attack::scan_sat_attack_with;
+use crate::{AttackBudget, AttackOutcome, AttackReport};
+
+/// Every attack the unified entry point can run, by CLI/table name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AttackStrategy {
+    /// The combinational oracle-guided SAT attack through the scan view
+    /// (`sat`).
+    ScanSat,
+    /// Sequential unrolling, NEOS `bbo` mode (`bbo`).
+    Bbo,
+    /// Sequential unrolling, NEOS `int` mode (`int`).
+    Int,
+    /// Key-condition crunching (`kc2`).
+    Kc2,
+    /// The RANE model: secret initial state (`rane`).
+    Rane,
+    /// AppSAT approximate attack with the default settle policy
+    /// (`appsat`).
+    AppSat,
+    /// Double-DIP: two wrong keys eliminated per iteration
+    /// (`double-dip`).
+    DoubleDip,
+    /// FALL: structural comparator analysis plus SAT confirmation
+    /// (`fall`).
+    Fall,
+    /// Attack-level race of whole strategies with cooperative
+    /// cancellation (`race`); wall-clock layer, see [`run_race`].
+    Race,
+}
+
+impl AttackStrategy {
+    /// Every strategy, in canonical (CLI help) order.
+    pub const ALL: [AttackStrategy; 9] = [
+        AttackStrategy::ScanSat,
+        AttackStrategy::Bbo,
+        AttackStrategy::Int,
+        AttackStrategy::Kc2,
+        AttackStrategy::Rane,
+        AttackStrategy::AppSat,
+        AttackStrategy::DoubleDip,
+        AttackStrategy::Fall,
+        AttackStrategy::Race,
+    ];
+
+    /// The CLI/table/wire name of this strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackStrategy::ScanSat => "sat",
+            AttackStrategy::Bbo => "bbo",
+            AttackStrategy::Int => "int",
+            AttackStrategy::Kc2 => "kc2",
+            AttackStrategy::Rane => "rane",
+            AttackStrategy::AppSat => "appsat",
+            AttackStrategy::DoubleDip => "double-dip",
+            AttackStrategy::Fall => "fall",
+            AttackStrategy::Race => "race",
+        }
+    }
+
+    /// Parses a CLI/wire mode name (the inverse of
+    /// [`AttackStrategy::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// True when two runs with the same spec produce bit-identical
+    /// reports. Everything but [`AttackStrategy::Race`] qualifies: the
+    /// attack-level race is decided by wall-clock and is documented as
+    /// exempt in `docs/DETERMINISM.md`.
+    pub fn is_deterministic(self) -> bool {
+        self != AttackStrategy::Race
+    }
+}
+
+impl std::fmt::Display for AttackStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete attack request: which attack, under what budget, raced how.
+///
+/// This is the request type shared by the CLI subcommands, the table
+/// bins, and the `cutelock serve` job daemon — see [`run_attack`].
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// The attack to run.
+    pub strategy: AttackStrategy,
+    /// Search budget (wall-clock, bound, iterations, conflicts).
+    pub budget: AttackBudget,
+    /// Query-level portfolio settings ([`Portfolio::single`] disables
+    /// racing). For [`AttackStrategy::Race`] the portfolio is
+    /// reinterpreted: `threads` is the strategy-race width and `k` each
+    /// strategy's inner query-race width.
+    pub portfolio: Portfolio,
+}
+
+impl AttackSpec {
+    /// A spec with the default budget and no portfolio racing.
+    pub fn new(strategy: AttackStrategy) -> Self {
+        Self {
+            strategy,
+            budget: AttackBudget::default(),
+            portfolio: Portfolio::single(),
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: AttackBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the portfolio.
+    pub fn with_portfolio(mut self, portfolio: Portfolio) -> Self {
+        self.portfolio = portfolio;
+        self
+    }
+
+    /// True when the report's verdict is *decisive*: a verified key (the
+    /// lock is broken) or a CNS proof (no constant key exists for this
+    /// model). A refuted key, a FAIL, or a timeout settles nothing —
+    /// the CLI maps decisive to exit 0 and everything else to exit 2.
+    pub fn is_decisive(outcome: &AttackOutcome) -> bool {
+        matches!(outcome, AttackOutcome::KeyFound(_) | AttackOutcome::Cns)
+    }
+}
+
+/// Runs the attack a spec describes against a locked circuit (which
+/// bundles its own oracle netlist) — the single entry point behind the
+/// CLI `attack` subcommand, the table bins, and the job daemon.
+///
+/// Semantics per strategy are identical to the legacy free functions
+/// (each of which now delegates here bit-for-bit):
+///
+/// * oracle-guided strategies return the familiar [`AttackReport`];
+/// * [`AttackStrategy::Fall`] reports its candidate count in
+///   [`AttackReport::iterations`] (use
+///   [`fall_attack_with`] when the
+///   confirmed key list itself is needed);
+/// * [`AttackStrategy::Race`] returns the winning (or best-ranked)
+///   strategy's report — see [`run_race`] for the full per-strategy
+///   breakdown.
+pub fn run_attack(locked: &LockedCircuit, spec: &AttackSpec) -> AttackReport {
+    let (budget, p) = (&spec.budget, &spec.portfolio);
+    match spec.strategy {
+        AttackStrategy::ScanSat => scan_sat_attack_with(locked, budget, p),
+        AttackStrategy::Bbo => bbo_attack_with(locked, budget, p),
+        AttackStrategy::Int => int_attack_with(locked, budget, p),
+        AttackStrategy::Kc2 => kc2_attack_with(locked, budget, p),
+        AttackStrategy::Rane => rane_attack_with(locked, budget, p),
+        AttackStrategy::AppSat => appsat_attack_with(locked, budget, &AppSatConfig::default(), p),
+        AttackStrategy::DoubleDip => double_dip_attack_with(locked, budget, p),
+        AttackStrategy::Fall => {
+            let r = fall_attack_with(locked, budget, p);
+            AttackReport {
+                outcome: r.outcome,
+                elapsed: r.elapsed,
+                iterations: r.candidates,
+                bound: 0,
+            }
+        }
+        AttackStrategy::Race => run_race(locked, spec).report,
+    }
+}
+
+/// Runs the attack-level strategy race a spec describes and returns the
+/// full [`RaceReport`] (per-strategy verdicts included). [`run_attack`]
+/// with [`AttackStrategy::Race`] is this function reduced to the winning
+/// report.
+///
+/// The spec's portfolio is reinterpreted for the race:
+/// [`Portfolio::threads`] is the number of strategy workers and
+/// [`Portfolio::k`] each strategy's inner query-race width — matching the
+/// CLI's `--threads` / `--portfolio` flags in `--mode race`. A
+/// [`Portfolio::stop`] flag, when set, becomes the race's shared
+/// cancellation slot (the job daemon's `CANCEL` raises it).
+pub fn run_race(locked: &LockedCircuit, spec: &AttackSpec) -> RaceReport {
+    portfolio_attack_with_stop(
+        locked,
+        &spec.budget,
+        &Strategy::ALL,
+        spec.portfolio.threads,
+        spec.portfolio.k,
+        spec.portfolio.stop.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in AttackStrategy::ALL {
+            assert_eq!(AttackStrategy::parse(s.name()), Some(s), "{s}");
+        }
+        assert_eq!(AttackStrategy::parse("dana"), None, "dana is not a spec");
+        assert_eq!(AttackStrategy::parse(""), None);
+    }
+
+    #[test]
+    fn race_is_the_one_nondeterministic_strategy() {
+        for s in AttackStrategy::ALL {
+            assert_eq!(s.is_deterministic(), s != AttackStrategy::Race);
+        }
+    }
+
+    #[test]
+    fn decisive_matches_the_race_rule() {
+        use cutelock_core::KeyValue;
+        assert!(AttackSpec::is_decisive(&AttackOutcome::KeyFound(
+            KeyValue::from_u64(1, 2)
+        )));
+        assert!(AttackSpec::is_decisive(&AttackOutcome::Cns));
+        assert!(!AttackSpec::is_decisive(&AttackOutcome::WrongKey(
+            KeyValue::from_u64(1, 2)
+        )));
+        assert!(!AttackSpec::is_decisive(&AttackOutcome::Fail));
+        assert!(!AttackSpec::is_decisive(&AttackOutcome::Timeout));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let spec = AttackSpec::new(AttackStrategy::Int)
+            .with_budget(AttackBudget {
+                timeout: std::time::Duration::from_secs(5),
+                ..AttackBudget::default()
+            })
+            .with_portfolio(Portfolio::new(4, 2));
+        assert_eq!(spec.strategy, AttackStrategy::Int);
+        assert_eq!(spec.budget.timeout.as_secs(), 5);
+        assert_eq!(spec.portfolio.k, 4);
+    }
+}

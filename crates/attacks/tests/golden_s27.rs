@@ -18,7 +18,9 @@ use cutelock_attacks::kc2::kc2_attack_with;
 use cutelock_attacks::portfolio::Portfolio;
 use cutelock_attacks::rane::rane_attack;
 use cutelock_attacks::sat_attack::{scan_sat_attack, scan_sat_attack_with};
-use cutelock_attacks::{AttackBudget, AttackOutcome, AttackReport};
+use cutelock_attacks::{
+    run_attack, AttackBudget, AttackOutcome, AttackReport, AttackSpec, AttackStrategy,
+};
 use cutelock_circuits::s27::s27;
 use cutelock_core::baselines::{TtLock, XorLock};
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
@@ -223,6 +225,60 @@ fn golden_portfolio_single_is_transparent() {
         assert_eq!(
             golden(&int_attack_with(&lc, &budget(), &Portfolio::single())),
             golden(&int_attack(&lc, &budget())),
+        );
+    }
+}
+
+/// The unified spec door must be a pass-through: for every deterministic
+/// strategy, `run_attack` with a plain spec produces the same golden string
+/// as the legacy free function (which itself now delegates here — this
+/// test additionally pins the door against the frozen strings above by
+/// reusing the same expected values).
+#[test]
+fn golden_spec_door_is_transparent() {
+    let expected: [(AttackStrategy, &str, &str); 6] = [
+        (
+            AttackStrategy::ScanSat,
+            "Equal(0010) iters=2",
+            "x..x(11) iters=2",
+        ),
+        (
+            AttackStrategy::Bbo,
+            "Equal(0010) iters=4",
+            "x..x(11) iters=1",
+        ),
+        (
+            AttackStrategy::Int,
+            "Equal(0010) iters=4",
+            "x..x(11) iters=1",
+        ),
+        (
+            AttackStrategy::Kc2,
+            "Equal(0010) iters=2",
+            "x..x(11) iters=1",
+        ),
+        (
+            AttackStrategy::Rane,
+            "Equal(0010) iters=5",
+            "x..x(11) iters=2",
+        ),
+        (
+            AttackStrategy::DoubleDip,
+            "Equal(0010) iters=2",
+            "x..x(11) iters=2",
+        ),
+    ];
+    for (strategy, xor_want, cute_want) in expected {
+        let spec = AttackSpec::new(strategy).with_budget(budget());
+        check(
+            &format!("spec/{strategy}/xor"),
+            xor_want,
+            golden(&run_attack(&xor_lock(), &spec)),
+        );
+        check(
+            &format!("spec/{strategy}/cute"),
+            cute_want,
+            golden(&run_attack(&cute_lock(), &spec)),
         );
     }
 }

@@ -21,9 +21,7 @@
 //! the attacks must then *succeed*, which validates the attack
 //! implementations themselves.
 
-use cutelock_attacks::bmc::{bbo_attack_with, int_attack_with};
-use cutelock_attacks::kc2::kc2_attack_with;
-use cutelock_attacks::AttackReport;
+use cutelock_attacks::{run_attack, AttackReport, AttackStrategy};
 use cutelock_bench::params::{in_quick_set, TABLE3};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::synthezza;
@@ -42,9 +40,15 @@ struct Row {
     reports: [AttackReport; 3],
 }
 
+/// The three attack columns, in print order.
+const COLUMNS: [AttackStrategy; 3] = [
+    AttackStrategy::Bbo,
+    AttackStrategy::Int,
+    AttackStrategy::Kc2,
+];
+
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
-    let budget = opt.budget();
     println!(
         "Table III: Cute-Lock-Beh security against logic attacks{}",
         if opt.single_key {
@@ -69,7 +73,6 @@ fn main() {
     // dispatch is the unit that fills the machine; `--portfolio K`
     // additionally races K diversified solvers per SAT query inside each
     // attack (deterministically — output stays `--threads`-independent).
-    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
         let (name, k, ki) = selected[i];
         let Some(stg) = synthezza(name) else {
@@ -96,11 +99,7 @@ fn main() {
             name,
             k,
             ki,
-            reports: [
-                bbo_attack_with(&locked, &budget, &portfolio),
-                int_attack_with(&locked, &budget, &portfolio),
-                kc2_attack_with(&locked, &budget, &portfolio),
-            ],
+            reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec(s))),
         })
     });
 

@@ -18,10 +18,7 @@
 //!
 //! `--single-key` validates the attacks instead (paper §IV.A).
 
-use cutelock_attacks::bmc::{bbo_attack_with, int_attack_with};
-use cutelock_attacks::kc2::kc2_attack_with;
-use cutelock_attacks::rane::rane_attack_with;
-use cutelock_attacks::AttackReport;
+use cutelock_attacks::{run_attack, AttackReport, AttackStrategy};
 use cutelock_bench::params::{in_quick_set, TABLE4_ISCAS, TABLE4_ITC};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::{iscas89, itc99};
@@ -40,9 +37,16 @@ struct Row {
     reports: [AttackReport; 4],
 }
 
+/// The four attack columns, in print order.
+const COLUMNS: [AttackStrategy; 4] = [
+    AttackStrategy::Bbo,
+    AttackStrategy::Int,
+    AttackStrategy::Kc2,
+    AttackStrategy::Rane,
+];
+
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
-    let budget = opt.budget();
     println!(
         "Table IV: Cute-Lock-Str security against logic attacks{}",
         if opt.single_key {
@@ -67,7 +71,6 @@ fn main() {
         .filter(|(_, name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
         .collect();
 
-    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
         let (suite, name, k, ki) = selected[i];
         let circuit = if suite == 0 {
@@ -96,12 +99,7 @@ fn main() {
             name,
             k,
             ki,
-            reports: [
-                bbo_attack_with(&locked, &budget, &portfolio),
-                int_attack_with(&locked, &budget, &portfolio),
-                kc2_attack_with(&locked, &budget, &portfolio),
-                rane_attack_with(&locked, &budget, &portfolio),
-            ],
+            reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec(s))),
         })
     });
 

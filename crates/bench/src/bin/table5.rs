@@ -19,7 +19,7 @@
 
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
 use cutelock_attacks::fall::{fall_attack_with, fall_attack_with_budget, FallReport};
-use cutelock_attacks::AttackOutcome;
+use cutelock_attacks::{AttackOutcome, AttackStrategy};
 use cutelock_bench::params::{in_quick_set, TABLE5};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::itc99;
@@ -43,7 +43,13 @@ struct Row {
 
 fn main() {
     let opt = Options::parse(std::env::args(), USAGE);
-    let budget = opt.budget();
+    // FALL's budget and query-level portfolio come from the same
+    // `AttackSpec` door the CLI and job daemon use; only the report type
+    // differs (the table prints FALL's candidate/key counts, which the
+    // generic `AttackReport` does not carry). DANA runs on the bare
+    // netlist and stays outside the spec door entirely.
+    let spec = opt.spec(AttackStrategy::Fall);
+    let budget = spec.budget;
     println!("Table V: Cute-Lock-Str security against removal attacks");
     println!(
         "{:<8} {:>10} {:>10}  {:>10} {:>6} {:>12}",
@@ -58,8 +64,6 @@ fn main() {
         .collect();
 
     let pool = opt.pool();
-    // `--portfolio K` races FALL's SAT key-confirmation checks.
-    let portfolio = opt.portfolio();
     let results: Vec<Result<Row, String>> = pool.map(selected.len(), |i| {
         let name = selected[i];
         let circuit = itc99(name).map_err(|e| format!("{name}: {e}"))?;
@@ -83,7 +87,8 @@ fn main() {
         .map_err(|e| format!("{name}: lock failed: {e}"))?;
         let dana = dana_attack_with_budget(&locked.netlist, &budget);
         let locked_score = score_against_ground_truth(&dana, &truth);
-        let fall = fall_attack_with(&locked, &budget, &portfolio);
+        // `--portfolio K` races FALL's SAT key-confirmation checks.
+        let fall = fall_attack_with(&locked, &spec.budget, &spec.portfolio);
         Ok(Row {
             name,
             clean,

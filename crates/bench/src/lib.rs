@@ -47,7 +47,7 @@ pub mod params;
 
 use std::time::Duration;
 
-use cutelock_attacks::{AttackBudget, AttackReport, Portfolio};
+use cutelock_attacks::{AttackBudget, AttackReport, AttackSpec, AttackStrategy, Portfolio};
 use cutelock_sim::pool::Pool;
 
 /// Command-line options shared by the table binaries.
@@ -170,6 +170,16 @@ impl Options {
         Portfolio::new(self.portfolio_k, 1)
     }
 
+    /// The full attack request implied by the options for one strategy —
+    /// the [`AttackSpec`] the table bins hand to
+    /// [`run_attack`](cutelock_attacks::run_attack), same door as the CLI
+    /// and the job daemon.
+    pub fn spec(&self, strategy: AttackStrategy) -> AttackSpec {
+        AttackSpec::new(strategy)
+            .with_budget(self.budget())
+            .with_portfolio(self.portfolio())
+    }
+
     /// The worker pool implied by `--threads` (one worker per core when the
     /// flag is absent). Results dispatched through [`Pool::map`] come back
     /// in index order, so table output is deterministic for any width.
@@ -276,6 +286,17 @@ mod tests {
         // Zero clamps to the single-solver path rather than erroring.
         let o = parse(&["--portfolio", "0"]);
         assert_eq!(o.portfolio().k, 1);
+    }
+
+    #[test]
+    fn spec_bundles_budget_and_portfolio() {
+        let o = parse(&["--quick", "--portfolio", "3"]);
+        let s = o.spec(AttackStrategy::Kc2);
+        assert_eq!(s.strategy, AttackStrategy::Kc2);
+        assert_eq!(s.budget.max_bound, o.budget().max_bound);
+        assert_eq!(s.budget.timeout, o.budget().timeout);
+        assert_eq!(s.portfolio.k, 3);
+        assert_eq!(s.portfolio.threads, 1, "entrants race serially in workers");
     }
 
     #[test]

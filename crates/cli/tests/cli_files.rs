@@ -89,11 +89,14 @@ fn lock_attack_overhead_pipeline_on_disk() {
     );
 
     // 3. Attack the on-disk pair (bounded --quick budget; the multi-key
-    //    schedule means the attack dead-ends rather than finding a key).
-    run(&[
+    //    schedule means the attack dead-ends rather than finding a key —
+    //    a non-decisive verdict, which the CLI reports as an error so
+    //    `main` exits 2).
+    let err = run(&[
         "attack", "--mode", "int", "--locked", &locked, "--oracle", &orig, "--quick",
     ])
-    .expect("attack");
+    .expect_err("a held lock must not yield exit 0");
+    assert!(err.contains("not decisive"), "got: {err}");
 
     // 4. Overhead analysis of locked vs original, from disk.
     run(&["overhead", "--original", &orig, "--locked", &locked]).expect("overhead");

@@ -1,0 +1,119 @@
+//! End-to-end daemon test: a real `Server` on an ephemeral TCP port, two
+//! concurrent clients sharing one job-id space, fairness of the express
+//! lane under a batch blocker, a mid-solve CANCEL unwinding through the
+//! solver stop slot, and a cache hit on an identical resubmission.
+
+use std::time::{Duration, Instant};
+
+use cutelock_jobs::{Client, ServeConfig, Server};
+
+/// Polls `STATUS id` until `pred` matches the response line (or panics at
+/// the deadline). The daemon answers from a mutex-guarded snapshot, so
+/// polling is cheap.
+fn poll_status(client: &mut Client, id: u64, pred: impl Fn(&str) -> bool, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let line = client.request(&format!("STATUS {id}")).expect("status");
+        if pred(&line) {
+            return line;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn daemon_serves_two_clients_with_fairness_cancel_and_cache() {
+    // Ephemeral port; 2 workers means worker 0 is express-reserved.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut alice = Client::connect(addr).expect("client A connects");
+    let mut bob = Client::connect(addr).expect("client B connects");
+
+    // --- One shared job-id space across connections. -------------------
+    // Alice submits a long-running batch job: PHP(12) is UNSAT with only
+    // exponential resolution refutations, so it runs until cancelled.
+    let r = alice.request("SUBMIT solve --php 12").expect("submit");
+    assert_eq!(r, "OK id=1", "first job in a fresh daemon");
+    // Bob's next submission continues the same counter: same daemon state.
+    let r = bob.request("SUBMIT solve --php 4").expect("submit");
+    assert_eq!(r, "OK id=2");
+
+    // Bob can poll Alice's job and vice versa.
+    let blocker = poll_status(
+        &mut bob,
+        1,
+        |l| l.contains("state=running"),
+        "php 12 running",
+    );
+    assert!(blocker.contains("lane=batch"), "{blocker}");
+
+    // --- Fairness: express traffic bypasses the busy batch lane. -------
+    // With the php 12 blocker occupying the batch worker, a cheap verify
+    // must still run promptly on the express-reserved worker 0.
+    let r = bob
+        .request("SUBMIT verify --scheme xor --key-bits 4 --seed 3 --frames 3")
+        .expect("submit verify");
+    assert_eq!(r, "OK id=3");
+    let verify = bob.request("RESULT 3 --wait").expect("verify result");
+    assert!(
+        verify.contains("state=done") && verify.contains("equivalent frames=3"),
+        "{verify}"
+    );
+    assert!(verify.contains("lane=express"), "{verify}");
+    assert!(
+        verify.contains("worker=0"),
+        "express job must ride the fairness worker: {verify}"
+    );
+    // The blocker is still running: the verify did not wait behind it.
+    let blocker = bob.request("STATUS 1").expect("status");
+    assert!(blocker.contains("state=running"), "{blocker}");
+
+    // --- CANCEL unwinds a running solve through its stop flag. ---------
+    let started = Instant::now();
+    let r = alice.request("CANCEL 1").expect("cancel");
+    assert_eq!(r, "OK id=1 cancel-requested");
+    let line = alice.request("RESULT 1 --wait").expect("cancelled result");
+    assert!(line.contains("state=cancelled"), "{line}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "a cancel must interrupt the solver, not wait out the instance"
+    );
+
+    // --- Result cache: identical resubmission is answered from memory. --
+    let small = alice.request("RESULT 2 --wait").expect("php 4 result");
+    assert!(
+        small.contains("state=done") && small.contains("unsat php=4"),
+        "{small}"
+    );
+    assert!(
+        small.contains("cached=false"),
+        "first run computes: {small}"
+    );
+    let r = alice.request("SUBMIT solve --php 4").expect("resubmit");
+    assert_eq!(r, "OK id=4");
+    let replay = alice.request("RESULT 4 --wait").expect("cached result");
+    assert!(
+        replay.contains("cached=true") && replay.contains("unsat php=4"),
+        "identical resubmission must hit the cache: {replay}"
+    );
+
+    // Unknown verbs and ids answer ERR without wedging the connection.
+    let r = bob.request("STATUS 99").expect("status unknown");
+    assert!(r.starts_with("ERR"), "{r}");
+    let r = bob.request("FROB 1").expect("unknown verb");
+    assert!(r.starts_with("ERR unknown verb"), "{r}");
+
+    // --- Clean shutdown. ------------------------------------------------
+    let r = alice.request("SHUTDOWN").expect("shutdown");
+    assert_eq!(r, "OK shutting-down");
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+}

@@ -56,6 +56,7 @@
 pub mod baselines;
 pub mod beh;
 mod counter;
+pub mod fingerprint;
 mod key;
 mod locked;
 pub mod str_lock;

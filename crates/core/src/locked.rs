@@ -62,6 +62,28 @@ pub struct LockedCircuit {
 }
 
 impl LockedCircuit {
+    /// Stable content fingerprint of this locked instance: the scheme
+    /// label, both netlists (via their canonical `.bench` serialization),
+    /// and the key schedule, hashed with the workspace
+    /// [`Fingerprint`](crate::fingerprint::Fingerprint) FNV-1a hasher.
+    /// Identical locks — same circuit, same scheme, same schedule — hash
+    /// identically across runs and platforms; this is the circuit half of
+    /// the job daemon's result-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.update_str(self.scheme);
+        fp.update_str(&cutelock_netlist::bench::write(&self.netlist));
+        fp.update_str(&cutelock_netlist::bench::write(&self.original));
+        fp.update_str(&self.schedule.to_key_file(self.scheme));
+        for &ff in &self.counter_ffs {
+            fp.update_u64(ff as u64);
+        }
+        for &ff in &self.locked_ffs {
+            fp.update_u64(ff as u64);
+        }
+        fp.finish()
+    }
+
     /// Key input nets of the locked netlist, schedule bit order.
     pub fn key_input_ids(&self) -> Vec<NetId> {
         self.netlist.key_inputs()
@@ -361,6 +383,18 @@ mod tests {
     fn correct_schedule_matches_original() {
         let lc = tiny_locked();
         assert!(lc.verify_equivalence(100, 3).unwrap());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let lc = tiny_locked();
+        assert_eq!(lc.fingerprint(), tiny_locked().fingerprint());
+        let mut other = tiny_locked();
+        other.schedule = KeySchedule::new(vec![KeyValue::from_u64(0, 1), KeyValue::from_u64(1, 1)]);
+        assert_ne!(lc.fingerprint(), other.fingerprint(), "schedule ignored");
+        let mut relabeled = tiny_locked();
+        relabeled.scheme = "other-lock";
+        assert_ne!(lc.fingerprint(), relabeled.fingerprint(), "scheme ignored");
     }
 
     #[test]

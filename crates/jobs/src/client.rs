@@ -1,0 +1,45 @@
+//! A minimal blocking client for the daemon's line protocol: write one
+//! line, read one line. Used by `cutelock client`, the serve E2E test,
+//! and the CI smoke script.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and returns the daemon's one response line
+    /// (without the trailing newline).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}

@@ -1,0 +1,446 @@
+//! The `SUBMIT` grammar: one line of text → a [`SubmitRequest`] whose work
+//! closure drives the workspace pipeline through the unified
+//! [`AttackSpec`] door.
+//!
+//! Three job kinds:
+//!
+//! * `SUBMIT attack --mode <m> [--circuit s27] [--scheme str|xor|ttlock|
+//!   dklock|sled] [--keys K] [--key-bits KI] [--ffs N] [--seed S]
+//!   [--timeout SECS] [--portfolio K] [--threads N]` — locks a built-in
+//!   benchmark deterministically from the given parameters, builds an
+//!   [`AttackSpec`], and runs [`run_attack`]. Batch lane. Cached by
+//!   (circuit fingerprint, strategy, budget, portfolio width) for every
+//!   deterministic strategy; `--mode race` is wall-clock nondeterministic
+//!   and is never cached.
+//! * `SUBMIT verify [--circuit s27] [--scheme …] [--frames N]
+//!   [--conflicts N] …` — SAT-proves the locked instance cycle-exact
+//!   against its original under its own schedule
+//!   ([`prove_locked_equivalence`]). Express lane: verifies are the cheap,
+//!   latency-sensitive jobs the fairness lane exists for. Cached.
+//! * `SUBMIT solve --php N [--conflicts N]` — a pigeonhole SAT instance
+//!   (`N+1` pigeons, `N` holes: UNSAT, and exponentially hard for
+//!   resolution). The daemon's deterministic long-running job: `--php 12`
+//!   runs for minutes yet cancels within milliseconds through the solver's
+//!   stop slot — which is what the serve E2E test exercises. Cached.
+//!
+//! The attacker-side rule from `docs/DETERMINISM.md` shapes the cache key:
+//! worker-thread counts (`--threads`) never change a result, so they stay
+//! *out* of the key; anything that can change a verdict (strategy, budget,
+//! portfolio width, circuit, lock parameters) goes in.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cutelock_attacks::certify::prove_locked_equivalence;
+use cutelock_attacks::portfolio::Portfolio;
+use cutelock_attacks::{run_attack, AttackBudget, AttackSpec, AttackStrategy};
+use cutelock_circuits::{iscas89, itc99};
+use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
+use cutelock_core::fingerprint::Fingerprint;
+use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+use cutelock_core::LockedCircuit;
+use cutelock_netlist::Netlist;
+use cutelock_sat::equiv::EquivResult;
+use cutelock_sat::{Lit, SatResult, Solver, Var};
+
+use crate::queue::{Lane, SubmitRequest};
+
+/// Hard ceilings a daemon imposes on submitted work.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest wall-clock budget a job may request.
+    pub max_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_timeout: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// Minimal `--flag value` parser for the wire grammar (the CLI has its own
+/// in `crates/cli`; the daemon must not depend on the CLI crate).
+struct Flags<'a> {
+    values: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(tokens: &[&'a str]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let Some(name) = tokens[i].strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{}`", tokens[i]));
+            };
+            let Some(&value) = tokens.get(i + 1) else {
+                return Err(format!("--{name} needs a value"));
+            };
+            if values.insert(name, value).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+            i += 2;
+        }
+        Ok(Self { values })
+    }
+
+    fn opt(&self, name: &str) -> Option<&'a str> {
+        self.values.get(name).copied()
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: `{v}` is not a valid number")),
+        }
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for &name in self.values.keys() {
+            if !known.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Looks a benchmark circuit up across the built-in suites.
+fn builtin_circuit(name: &str) -> Result<Netlist, String> {
+    iscas89(name)
+        .or_else(|_| itc99(name))
+        .map(|c| c.netlist)
+        .map_err(|_| format!("unknown circuit `{name}` (not in iscas89/itc99)"))
+}
+
+/// Deterministically locks a built-in circuit from wire parameters —
+/// the daemon-side mirror of `cutelock lock`.
+fn lock_builtin(flags: &Flags) -> Result<LockedCircuit, String> {
+    let circuit = flags.opt("circuit").unwrap_or("s27");
+    let scheme = flags.opt("scheme").unwrap_or("str");
+    let keys: usize = flags.num("keys", 4)?;
+    let ki: usize = flags.num("key-bits", 2)?;
+    let ffs: usize = flags.num("ffs", 1)?;
+    let seed: u64 = flags.num("seed", 0)?;
+    let nl = builtin_circuit(circuit)?;
+    let locked = match scheme {
+        "str" => CuteLockStr::new(CuteLockStrConfig {
+            keys,
+            key_bits: ki,
+            locked_ffs: ffs,
+            seed,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&nl),
+        "xor" => XorLock::new(ki, seed).lock(&nl),
+        "ttlock" => TtLock::new(ki, seed).lock(&nl),
+        "dklock" => DkLock::new(ki, ki, seed).lock(&nl),
+        "sled" => SledLock::new(ki, seed).lock(&nl),
+        other => return Err(format!("unknown scheme `{other}`")),
+    };
+    locked.map_err(|e| e.to_string())
+}
+
+/// Folds an attack/verify spec into the circuit fingerprint — the
+/// (circuit, scheme, params, seed) cache key. `--threads` is deliberately
+/// absent: per `docs/DETERMINISM.md`, worker counts never change results.
+fn attack_cache_key(locked: &LockedCircuit, spec: &AttackSpec) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.update_u64(locked.fingerprint());
+    fp.update_str("attack");
+    fp.update_str(spec.strategy.name());
+    fp.update_u64(spec.budget.timeout.as_millis() as u64);
+    fp.update_u64(spec.budget.max_bound as u64);
+    fp.update_u64(spec.budget.max_iterations as u64);
+    fp.update_u64(spec.budget.conflict_budget.unwrap_or(u64::MAX));
+    fp.update_u64(spec.portfolio.k as u64);
+    fp.finish()
+}
+
+const ATTACK_FLAGS: &[&str] = &[
+    "mode",
+    "circuit",
+    "scheme",
+    "keys",
+    "key-bits",
+    "ffs",
+    "seed",
+    "timeout",
+    "portfolio",
+    "threads",
+];
+
+fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String> {
+    flags.reject_unknown(ATTACK_FLAGS)?;
+    let mode = flags.opt("mode").ok_or("attack needs --mode")?;
+    let strategy =
+        AttackStrategy::parse(mode).ok_or_else(|| format!("unknown attack mode `{mode}`"))?;
+    let locked = lock_builtin(flags)?;
+    let timeout: u64 = flags.num("timeout", 60)?;
+    let timeout = Duration::from_secs(timeout).min(limits.max_timeout);
+    let k: usize = flags.num("portfolio", 1)?;
+    let threads: usize = flags.num("threads", 1)?;
+    let budget = AttackBudget {
+        timeout,
+        ..AttackBudget::default()
+    };
+    let spec = AttackSpec::new(strategy)
+        .with_budget(budget)
+        .with_portfolio(Portfolio::new(k, threads));
+    // The race strategy is wall-clock nondeterministic: never cache it.
+    let cache_key = strategy
+        .is_deterministic()
+        .then(|| attack_cache_key(&locked, &spec));
+    let label = format!("attack {mode} {} {}", locked.netlist.name(), locked.scheme);
+    let work: crate::queue::JobWork = Box::new(move |stop: &Arc<AtomicBool>| {
+        let mut spec = spec;
+        // The job's stop flag becomes the portfolio/solver stop slot: a
+        // CANCEL unwinds the attack within one portfolio epoch.
+        spec.portfolio.stop = Some(Arc::clone(stop));
+        let report = run_attack(&locked, &spec);
+        // No elapsed time on the wire: the cached replay of a result must
+        // be byte-identical to the original computation.
+        Ok(format!(
+            "verdict={} iters={} bound={} decisive={}",
+            report.outcome,
+            report.iterations,
+            report.bound,
+            AttackSpec::is_decisive(&report.outcome)
+        ))
+    });
+    Ok(SubmitRequest {
+        label,
+        lane: Lane::Batch,
+        cache_key,
+        work,
+    })
+}
+
+const VERIFY_FLAGS: &[&str] = &[
+    "circuit",
+    "scheme",
+    "keys",
+    "key-bits",
+    "ffs",
+    "seed",
+    "frames",
+    "conflicts",
+];
+
+fn parse_verify(flags: &Flags) -> Result<SubmitRequest, String> {
+    flags.reject_unknown(VERIFY_FLAGS)?;
+    let locked = lock_builtin(flags)?;
+    let frames: usize = flags.num("frames", 4)?;
+    if frames == 0 {
+        return Err("--frames must be at least 1".into());
+    }
+    let conflicts: u64 = flags.num("conflicts", 2_000_000)?;
+    let mut fp = Fingerprint::new();
+    fp.update_u64(locked.fingerprint());
+    fp.update_str("verify");
+    fp.update_u64(frames as u64);
+    fp.update_u64(conflicts);
+    let cache_key = Some(fp.finish());
+    let label = format!("verify {} {}", locked.netlist.name(), locked.scheme);
+    let work: crate::queue::JobWork = Box::new(move |_stop: &Arc<AtomicBool>| {
+        match prove_locked_equivalence(&locked, frames, Some(conflicts)) {
+            Ok(EquivResult::Equivalent) => Ok(format!("equivalent frames={frames}")),
+            Ok(EquivResult::Counterexample(cex)) => Err(format!(
+                "not equivalent: outputs diverge within {} cycle(s)",
+                cex.len()
+            )),
+            Ok(EquivResult::Unknown) => Err(format!("inconclusive within {conflicts} conflicts")),
+            Err(e) => Err(e.to_string()),
+        }
+    });
+    Ok(SubmitRequest {
+        label,
+        lane: Lane::Express,
+        cache_key,
+        work,
+    })
+}
+
+/// Encodes the pigeonhole principle `PHP(n)`: `n + 1` pigeons into `n`
+/// holes. UNSAT, with only exponential resolution refutations — runtime
+/// climbs steeply with `n`, which makes it the daemon's deterministic
+/// "long job" for cancellation tests.
+fn encode_php(solver: &mut Solver, n: usize) -> Vec<Vec<Lit>> {
+    let pigeons = n + 1;
+    let var = |p: usize, h: usize| Var::from_index(p * n + h);
+    for _ in 0..pigeons * n {
+        solver.new_var();
+    }
+    let mut clauses = Vec::new();
+    // Every pigeon sits in some hole.
+    for p in 0..pigeons {
+        clauses.push((0..n).map(|h| Lit::positive(var(p, h))).collect());
+    }
+    // No two pigeons share a hole.
+    for h in 0..n {
+        for p in 0..pigeons {
+            for q in (p + 1)..pigeons {
+                clauses.push(vec![Lit::negative(var(p, h)), Lit::negative(var(q, h))]);
+            }
+        }
+    }
+    for c in &clauses {
+        solver.add_clause(c);
+    }
+    clauses
+}
+
+const SOLVE_FLAGS: &[&str] = &["php", "conflicts"];
+
+fn parse_solve(flags: &Flags) -> Result<SubmitRequest, String> {
+    flags.reject_unknown(SOLVE_FLAGS)?;
+    let n: usize = flags
+        .opt("php")
+        .ok_or("solve needs --php N")?
+        .parse()
+        .map_err(|_| "--php: not a valid number".to_string())?;
+    if n == 0 || n > 64 {
+        return Err("--php must be between 1 and 64".into());
+    }
+    let conflicts: u64 = flags.num("conflicts", u64::MAX)?;
+    let mut fp = Fingerprint::new();
+    fp.update_str("solve-php");
+    fp.update_u64(n as u64);
+    fp.update_u64(conflicts);
+    let cache_key = Some(fp.finish());
+    let work: crate::queue::JobWork = Box::new(move |stop: &Arc<AtomicBool>| {
+        let mut solver = Solver::new();
+        encode_php(&mut solver, n);
+        if conflicts != u64::MAX {
+            solver.set_conflict_budget(Some(conflicts));
+        }
+        solver.set_stop(Some(Arc::clone(stop)));
+        match solver.solve() {
+            SatResult::Unsat => Ok(format!("unsat php={n}")),
+            SatResult::Sat => Err(format!("php({n}) came out SAT: solver bug")),
+            SatResult::Unknown => Err("interrupted".into()),
+        }
+    });
+    Ok(SubmitRequest {
+        label: format!("solve php {n}"),
+        lane: Lane::Batch,
+        cache_key,
+        work,
+    })
+}
+
+/// Parses the operand of a `SUBMIT` line (everything after the verb) into
+/// a ready-to-enqueue request.
+pub fn parse_submit(line: &str, limits: &Limits) -> Result<SubmitRequest, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((&kind, rest)) = tokens.split_first() else {
+        return Err("SUBMIT needs a job kind: attack | verify | solve".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match kind {
+        "attack" => parse_attack(&flags, limits),
+        "verify" => parse_verify(&flags),
+        "solve" => parse_solve(&flags),
+        other => Err(format!("unknown job kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn submit(line: &str) -> Result<SubmitRequest, String> {
+        parse_submit(line, &Limits::default())
+    }
+
+    #[test]
+    fn attack_requests_parse_and_run() {
+        let req = submit("attack --mode sat --scheme xor --key-bits 4 --seed 3").unwrap();
+        assert_eq!(req.lane, Lane::Batch);
+        assert!(req.cache_key.is_some());
+        let stop = Arc::new(AtomicBool::new(false));
+        let line = (req.work)(&stop).unwrap();
+        assert!(line.contains("verdict=Equal"), "got: {line}");
+        assert!(line.contains("decisive=true"), "got: {line}");
+    }
+
+    #[test]
+    fn race_mode_is_never_cached() {
+        let req = submit("attack --mode race").unwrap();
+        assert_eq!(req.cache_key, None);
+        let det = submit("attack --mode int").unwrap();
+        assert!(det.cache_key.is_some());
+    }
+
+    #[test]
+    fn cache_key_ignores_threads_but_not_strategy_or_seed() {
+        let key = |line: &str| submit(line).unwrap().cache_key.unwrap();
+        let base = key("attack --mode int --seed 1");
+        assert_eq!(
+            base,
+            key("attack --mode int --seed 1 --threads 4"),
+            "worker threads must not change the cache key"
+        );
+        assert_ne!(base, key("attack --mode kc2 --seed 1"));
+        assert_ne!(base, key("attack --mode int --seed 2"));
+        assert_ne!(base, key("attack --mode int --seed 1 --portfolio 4"));
+    }
+
+    #[test]
+    fn verify_requests_are_express_and_run() {
+        let req = submit("verify --frames 3").unwrap();
+        assert_eq!(req.lane, Lane::Express);
+        assert!(req.cache_key.is_some());
+        let stop = Arc::new(AtomicBool::new(false));
+        let line = (req.work)(&stop).unwrap();
+        assert_eq!(line, "equivalent frames=3");
+    }
+
+    #[test]
+    fn php_jobs_are_unsat_and_cancellable() {
+        // Small instance: solves quickly and must come out UNSAT.
+        let req = submit("solve --php 4").unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        assert_eq!((req.work)(&stop).unwrap(), "unsat php=4");
+        // A pre-raised stop flag interrupts a big instance immediately.
+        let req = submit("solve --php 20").unwrap();
+        let stop = Arc::new(AtomicBool::new(true));
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!((req.work)(&stop).unwrap_err(), "interrupted");
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_useful_messages() {
+        assert!(submit("").is_err());
+        assert!(submit("attack").unwrap_err().contains("--mode"));
+        assert!(submit("attack --mode nope").unwrap_err().contains("nope"));
+        assert!(submit("attack --mode sat --bogus 1")
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(submit("solve --php 0").is_err());
+        assert!(submit("mystery --x 1").unwrap_err().contains("mystery"));
+    }
+
+    #[test]
+    fn timeout_is_clamped_to_the_daemon_limit() {
+        let limits = Limits {
+            max_timeout: Duration::from_secs(5),
+        };
+        // Parses fine; the clamp shows up in the cache key being equal to
+        // an explicit 5s request.
+        let a = parse_submit("attack --mode int --timeout 9999", &limits)
+            .unwrap()
+            .cache_key;
+        let b = parse_submit("attack --mode int --timeout 5", &limits)
+            .unwrap()
+            .cache_key;
+        assert_eq!(a, b);
+    }
+}

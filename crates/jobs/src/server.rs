@@ -1,0 +1,281 @@
+//! The TCP framing shim: a `std::net::TcpListener` line protocol over the
+//! pure [`JobQueue`].
+//!
+//! One request per line, one response per line — no framing beyond `\n`,
+//! no async runtime (the build environment is offline; `std` threads and
+//! a non-blocking accept loop suffice for a lab daemon):
+//!
+//! ```text
+//! SUBMIT attack --mode int --scheme xor --key-bits 4   →  OK id=1
+//! STATUS 1                                             →  OK id=1 state=running lane=batch worker=1 label=attack int s27 xor-lock
+//! RESULT 1                                             →  WAIT id=1 state=running
+//! RESULT 1 --wait                                      →  OK id=1 state=done cached=false verdict=Equal(0010) …
+//! CANCEL 1                                             →  OK id=1 cancel-requested
+//! SHUTDOWN                                             →  OK shutting-down
+//! ```
+//!
+//! Responses start `OK`, `WAIT`, or `ERR`. Every connection runs on its
+//! own thread; all of them share the one queue, so two clients submitting
+//! concurrently see one job-id space, one cache, one fairness lane — the
+//! scheduler semantics live entirely in [`crate::queue`], and this module
+//! only parses verbs and prints snapshots.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::queue::{JobQueue, JobStatus, WorkerPool};
+use crate::request::{parse_submit, Limits};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the job queue (min 1; worker 0 is the
+    /// express-reserved fairness worker when more than one).
+    pub workers: usize,
+    /// Ceilings imposed on submitted jobs.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon. [`Server::bind`] then [`Server::run`];
+/// `run` returns after a client sends `SHUTDOWN`.
+pub struct Server {
+    listener: TcpListener,
+    queue: JobQueue,
+    pool: WorkerPool,
+    limits: Limits,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port) and spawns
+    /// the worker pool. The queue starts empty.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let queue = JobQueue::new();
+        let pool = queue.spawn_workers(config.workers);
+        Ok(Self {
+            listener,
+            queue,
+            pool,
+            limits: config.limits,
+        })
+    }
+
+    /// The bound address (the ephemeral port, after binding to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client issues `SHUTDOWN`, then joins the
+    /// workers (letting any still-running job unwind through its raised
+    /// stop flag) and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        // Non-blocking accept so the loop can observe shutdown promptly.
+        self.listener.set_nonblocking(true)?;
+        let mut connections = Vec::new();
+        let mut streams: Vec<TcpStream> = Vec::new();
+        loop {
+            if self.queue.is_shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Keep a handle so shutdown can sever connections that
+                    // sit idle in a blocking read.
+                    if let Ok(handle) = stream.try_clone() {
+                        streams.push(handle);
+                    }
+                    let queue = self.queue.clone();
+                    let limits = self.limits;
+                    connections.push(std::thread::spawn(move || {
+                        // A dropped/failed connection only ends that
+                        // client's session; the daemon carries on.
+                        let _ = serve_connection(stream, &queue, &limits);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Disconnect every client that is still attached: their threads
+        // are blocked reading the next request and would otherwise pin
+        // the daemon open for as long as any client lingers.
+        for s in &streams {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+        self.pool.join();
+        Ok(())
+    }
+}
+
+/// One `STATUS`/`RESULT` snapshot as a single response line.
+fn status_line(queue: &JobQueue, st: &JobStatus) -> String {
+    let mut line = format!(
+        "OK id={} state={} lane={} cached={}",
+        st.id,
+        st.state.name(),
+        st.lane.name(),
+        st.cached
+    );
+    if let Some(worker) = queue.ran_on(st.id) {
+        line.push_str(&format!(" worker={worker}"));
+    }
+    match &st.result {
+        Some(Ok(text)) => line.push_str(&format!(" {text}")),
+        Some(Err(text)) => line.push_str(&format!(" error: {text}")),
+        None => {}
+    }
+    line.push_str(&format!(" label={}", st.label));
+    line
+}
+
+fn parse_id(operand: &str) -> Result<u64, String> {
+    operand
+        .split_whitespace()
+        .next()
+        .ok_or("missing job id".to_string())?
+        .parse()
+        .map_err(|_| format!("`{}` is not a job id", operand.trim()))
+}
+
+/// Handles one request line against the queue; `None` means the
+/// connection asked the daemon to shut down (after the returned response
+/// in `Some` — shutdown still responds, so the `None` case is encoded as
+/// the second tuple element).
+fn handle_line(line: &str, queue: &JobQueue, limits: &Limits) -> (String, bool) {
+    let line = line.trim();
+    let (verb, operand) = match line.split_once(char::is_whitespace) {
+        Some((v, rest)) => (v, rest.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "SUBMIT" => match parse_submit(operand, limits) {
+            Ok(req) => {
+                let id = queue.submit(req);
+                (format!("OK id={id}"), false)
+            }
+            Err(e) => (format!("ERR {e}"), false),
+        },
+        "STATUS" => match parse_id(operand) {
+            Ok(id) => match queue.status(id) {
+                Some(st) => (status_line(queue, &st), false),
+                None => (format!("ERR no such job {id}"), false),
+            },
+            Err(e) => (format!("ERR {e}"), false),
+        },
+        "RESULT" => match parse_id(operand) {
+            Ok(id) => {
+                let wait = operand.split_whitespace().any(|t| t == "--wait");
+                let st = if wait {
+                    queue.wait(id)
+                } else {
+                    queue.status(id)
+                };
+                match st {
+                    Some(st) if st.state.is_terminal() => (status_line(queue, &st), false),
+                    Some(st) => (
+                        format!("WAIT id={} state={}", st.id, st.state.name()),
+                        false,
+                    ),
+                    None => (format!("ERR no such job {id}"), false),
+                }
+            }
+            Err(e) => (format!("ERR {e}"), false),
+        },
+        "CANCEL" => match parse_id(operand) {
+            Ok(id) => match queue.cancel(id) {
+                Some(crate::queue::JobState::Cancelled) => (format!("OK id={id} cancelled"), false),
+                Some(crate::queue::JobState::Running) => {
+                    (format!("OK id={id} cancel-requested"), false)
+                }
+                Some(state) => (
+                    format!("OK id={id} already-terminal state={}", state.name()),
+                    false,
+                ),
+                None => (format!("ERR no such job {id}"), false),
+            },
+            Err(e) => (format!("ERR {e}"), false),
+        },
+        "SHUTDOWN" => {
+            queue.shutdown();
+            ("OK shutting-down".to_string(), true)
+        }
+        "" => ("ERR empty request".to_string(), false),
+        other => (
+            format!("ERR unknown verb `{other}` (SUBMIT|STATUS|RESULT|CANCEL|SHUTDOWN)"),
+            false,
+        ),
+    }
+}
+
+fn serve_connection(stream: TcpStream, queue: &JobQueue, limits: &Limits) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let (response, shutdown) = handle_line(&line, queue, limits);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The protocol layer, exercised without sockets: `handle_line` is the
+    /// whole framing logic, so driving it directly pins the grammar.
+    #[test]
+    fn protocol_round_trip_without_sockets() {
+        let queue = JobQueue::new();
+        let pool = queue.spawn_workers(1);
+        let limits = Limits::default();
+        let (r, _) = handle_line("SUBMIT solve --php 3", &queue, &limits);
+        assert_eq!(r, "OK id=1");
+        let (r, _) = handle_line("RESULT 1 --wait", &queue, &limits);
+        assert!(r.contains("state=done") && r.contains("unsat php=3"), "{r}");
+        let (r, _) = handle_line("STATUS 1", &queue, &limits);
+        assert!(r.contains("worker=0"), "{r}");
+        let (r, _) = handle_line("STATUS 99", &queue, &limits);
+        assert!(r.starts_with("ERR"), "{r}");
+        let (r, _) = handle_line("SUBMIT attack --mode warp", &queue, &limits);
+        assert!(r.starts_with("ERR"), "{r}");
+        let (r, _) = handle_line("FROB 1", &queue, &limits);
+        assert!(r.starts_with("ERR unknown verb"), "{r}");
+        let (r, done) = handle_line("SHUTDOWN", &queue, &limits);
+        assert_eq!(r, "OK shutting-down");
+        assert!(done);
+        pool.join();
+    }
+
+    #[test]
+    fn cancel_before_run_reports_cancelled() {
+        // No workers: the job stays queued until cancelled.
+        let queue = JobQueue::new();
+        let limits = Limits::default();
+        handle_line("SUBMIT solve --php 10", &queue, &limits);
+        let (r, _) = handle_line("CANCEL 1", &queue, &limits);
+        assert_eq!(r, "OK id=1 cancelled");
+        let (r, _) = handle_line("RESULT 1", &queue, &limits);
+        assert!(r.contains("state=cancelled"), "{r}");
+    }
+}

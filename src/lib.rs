@@ -55,6 +55,7 @@ pub use cutelock_attacks as attacks;
 pub use cutelock_circuits as circuits;
 pub use cutelock_core as locking;
 pub use cutelock_fsm as fsm;
+pub use cutelock_jobs as jobs;
 pub use cutelock_netlist as netlist;
 pub use cutelock_sat as sat;
 pub use cutelock_sim as sim;
@@ -69,7 +70,9 @@ pub mod prelude {
     pub use cutelock_attacks::portfolio::{portfolio_attack, Portfolio, Strategy};
     pub use cutelock_attacks::rane::rane_attack;
     pub use cutelock_attacks::sat_attack::scan_sat_attack;
-    pub use cutelock_attacks::{AttackBudget, AttackOutcome, AttackReport};
+    pub use cutelock_attacks::{
+        run_attack, run_race, AttackBudget, AttackOutcome, AttackReport, AttackSpec, AttackStrategy,
+    };
     pub use cutelock_circuits::{iscas89, itc99, synthezza, BenchmarkCircuit};
     pub use cutelock_core::baselines::{DkLock, HarpoonLock, SledLock, TtLock, XorLock};
     pub use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
