@@ -19,8 +19,6 @@
 //! key; Double-DIP's pair constraint just reaches the `CNS` dead end in
 //! fewer iterations.
 
-use std::time::Instant;
-
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_sat::SatResult;
 use rand::rngs::StdRng;
@@ -82,16 +80,17 @@ pub fn appsat_attack_with(
     config: &AppSatConfig,
     portfolio: &Portfolio,
 ) -> AttackReport {
-    let start = Instant::now();
+    let start = budget.start();
     let mk = |outcome, iterations| AttackReport {
         outcome,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
+    m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
     let mut rng = StdRng::seed_from_u64(0xa995a7);
     let diff = m.obs_differ();
@@ -155,7 +154,7 @@ pub fn appsat_attack_with(
 /// more wrong keys. Delegates to [`run_attack`](crate::run_attack) with
 /// [`AttackStrategy::DoubleDip`](crate::AttackStrategy::DoubleDip).
 pub fn double_dip_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::DoubleDip).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::DoubleDip).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -167,16 +166,17 @@ pub fn double_dip_attack_with(
     budget: &AttackBudget,
     portfolio: &Portfolio,
 ) -> AttackReport {
-    let start = Instant::now();
+    let start = budget.start();
     let mk = |outcome, iterations| AttackReport {
         outcome,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return mk(AttackOutcome::Fail, 0);
     };
+    m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
     // Third key copy sharing the same inputs.
     let (k3, f3) = m.add_key_copy();
@@ -270,6 +270,7 @@ mod tests {
             max_bound: 1,
             max_iterations: 256,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

@@ -35,8 +35,8 @@
 //! key-bit fixation on top — see [`crate::kc2`].
 
 use std::rc::Rc;
-use std::time::Instant;
 
+use cutelock_core::clock::Instant;
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_netlist::unroll::{scan_view, ScanView};
 use cutelock_sat::{CircuitEncoder, Lit, MiterBuilder, PortVals, SatResult, Solver};
@@ -75,7 +75,7 @@ pub enum InitModel {
 /// Runs the BBO-mode attack. Delegates to [`run_attack`](crate::run_attack)
 /// with [`AttackStrategy::Bbo`](crate::AttackStrategy::Bbo).
 pub fn bbo_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::Bbo).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Bbo).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -100,7 +100,7 @@ pub fn bbo_rebuild_attack(locked: &LockedCircuit, budget: &AttackBudget) -> Atta
 /// Runs the INT-mode attack. Delegates to [`run_attack`](crate::run_attack)
 /// with [`AttackStrategy::Int`](crate::AttackStrategy::Int).
 pub fn int_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::Int).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Int).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -174,7 +174,7 @@ impl<'a> Engine<'a> {
             fix_key_bits,
             portfolio,
             sv,
-            start: Instant::now(),
+            start: budget.start(),
             iterations: 0,
         }
     }
@@ -186,7 +186,7 @@ impl<'a> Engine<'a> {
     fn report(&self, outcome: AttackOutcome, bound: usize) -> AttackReport {
         AttackReport {
             outcome,
-            elapsed: self.start.elapsed(),
+            elapsed: self.budget.clock.now().duration_since(self.start),
             iterations: self.iterations,
             bound,
         }
@@ -199,6 +199,7 @@ impl<'a> Engine<'a> {
         m.enc
             .solver
             .set_conflict_budget(self.budget.conflict_budget);
+        m.enc.solver.set_clock(self.budget.clock.clone());
         self.portfolio.install(&mut m.enc.solver);
         let k1 = m.fresh_keys();
         let k2 = m.fresh_keys();
@@ -444,6 +445,7 @@ mod tests {
             max_bound: 6,
             max_iterations: 64,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

@@ -19,7 +19,7 @@
 //! counter).
 
 use std::collections::{BTreeSet, HashMap};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cutelock_netlist::{cone, Driver, GateKind, Netlist};
 
@@ -57,14 +57,14 @@ pub fn dana_attack(nl: &Netlist) -> DanaReport {
 /// returns the coarser partition it had with
 /// [`DanaReport::timed_out`] set instead of overrunning the clock.
 pub fn dana_attack_with_budget(nl: &Netlist, budget: &AttackBudget) -> DanaReport {
-    let start = Instant::now();
+    let start = budget.start();
     let out_of_time = || budget.remaining(start).is_none();
     let n = nl.dff_count();
     if n == 0 {
         return DanaReport {
             clusters: Vec::new(),
             labels: Vec::new(),
-            elapsed: start.elapsed(),
+            elapsed: budget.clock.now().duration_since(start),
             timed_out: false,
         };
     }
@@ -95,7 +95,13 @@ pub fn dana_attack_with_budget(nl: &Netlist, budget: &AttackBudget) -> DanaRepor
         .collect();
     let mut reads_pi = vec![false; n];
     for (f, ff) in nl.dffs().iter().enumerate() {
-        if timed_out || out_of_time() {
+        if timed_out {
+            break;
+        }
+        // One cone analysis = one unit of virtual time, ticked *before*
+        // the check so a zero budget expires at cone 0 deterministically.
+        budget.clock.tick(1);
+        if out_of_time() {
             timed_out = true;
             break;
         }
@@ -107,7 +113,12 @@ pub fn dana_attack_with_budget(nl: &Netlist, budget: &AttackBudget) -> DanaRepor
     // Partition refinement.
     let mut labels = vec![0usize; n];
     for _round in 0..64 {
-        if timed_out || out_of_time() {
+        if timed_out {
+            break;
+        }
+        // One refinement round = one unit of virtual time.
+        budget.clock.tick(1);
+        if out_of_time() {
             timed_out = true;
             break;
         }
@@ -146,7 +157,7 @@ pub fn dana_attack_with_budget(nl: &Netlist, budget: &AttackBudget) -> DanaRepor
     DanaReport {
         clusters,
         labels,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
         timed_out,
     }
 }
@@ -280,23 +291,70 @@ mod tests {
     }
 
     #[test]
-    fn dana_respects_a_tiny_timeout() {
-        // Regression (attack-budget bugfix): DANA used to record elapsed
-        // time but never enforce the budget.
+    fn dana_times_out_at_exact_virtual_instants() {
+        // Replaces the old zero-wall-timeout regression, which raced the
+        // scheduler: under a virtual clock (1 ms per work unit — one cone
+        // analysis, one refinement round) the timeout fires at an exact,
+        // machine-independent point in the algorithm.
+        use cutelock_core::clock::VirtualClock;
+        let ms = Duration::from_millis;
         let c = itc99("b12").unwrap();
+        let n = c.netlist.dff_count() as u64;
+
+        // Zero budget: the first cone analysis expires it. The partial
+        // partition is still well-formed: every FF labeled, one coarse
+        // cluster covering the whole FF set.
+        let vc = VirtualClock::with_tick(1_000_000);
         let budget = AttackBudget {
-            timeout: std::time::Duration::ZERO,
+            timeout: Duration::ZERO,
+            clock: vc.handle(),
             ..Default::default()
         };
         let report = dana_attack_with_budget(&c.netlist, &budget);
         assert!(report.timed_out);
-        // The partial partition is still well-formed: every FF labeled,
-        // clusters partition the FF set.
         assert_eq!(report.labels.len(), c.netlist.dff_count());
         let covered: usize = report.clusters.iter().map(Vec::len).sum();
         assert_eq!(covered, c.netlist.dff_count());
-        // A full-budget run does not time out.
-        assert!(!dana_attack(&c.netlist).timed_out);
+        assert_eq!(report.clusters.len(), 1, "no refinement round ran");
+        assert_eq!(report.elapsed, ms(1), "expired at cone 0");
+
+        // Exactly n units: every cone is analyzed, refinement round 0
+        // expires — the partition is still the single coarse cluster.
+        let vc = VirtualClock::with_tick(1_000_000);
+        let budget = AttackBudget {
+            timeout: ms(n),
+            clock: vc.handle(),
+            ..Default::default()
+        };
+        let report = dana_attack_with_budget(&c.netlist, &budget);
+        assert!(report.timed_out);
+        assert_eq!(report.clusters.len(), 1, "expired before round 0 split");
+        assert_eq!(report.elapsed, ms(n + 1), "expired at refinement round 0");
+
+        // n + 1 units buys exactly one refinement round: the partition
+        // refines past the coarse cluster but short of the fixpoint.
+        let vc = VirtualClock::with_tick(1_000_000);
+        let budget = AttackBudget {
+            timeout: ms(n + 1),
+            clock: vc.handle(),
+            ..Default::default()
+        };
+        let one_round = dana_attack_with_budget(&c.netlist, &budget);
+        assert!(one_round.timed_out);
+        assert!(one_round.clusters.len() > 1, "round 0 split the cluster");
+
+        // A generous virtual budget reaches the fixpoint and matches the
+        // default wall-clock run label for label.
+        let vc = VirtualClock::with_tick(1_000_000);
+        let budget = AttackBudget {
+            timeout: Duration::from_secs(3600),
+            clock: vc.handle(),
+            ..Default::default()
+        };
+        let report = dana_attack_with_budget(&c.netlist, &budget);
+        assert!(!report.timed_out);
+        assert_eq!(report.labels, dana_attack(&c.netlist).labels);
+        assert!(report.clusters.len() >= one_round.clusters.len());
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! reproducing Table V's FALL columns.
 
 use std::collections::{BTreeMap, HashMap};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use cutelock_core::clock::ClockHandle;
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_netlist::unroll::scan_view;
 use cutelock_netlist::{Driver, GateKind, NetId, Netlist};
@@ -89,14 +90,14 @@ pub fn fall_attack_with(
     budget: &AttackBudget,
     portfolio: &Portfolio,
 ) -> FallReport {
-    let start = Instant::now();
+    let start = budget.start();
     let out_of_time = || budget.remaining(start).is_none();
     let timed_out = |candidates: usize, keys: Vec<KeyValue>| FallReport {
         candidates,
         keys_found: keys.len(),
         keys,
         outcome: AttackOutcome::Timeout,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
     };
     let sv = scan_view(&locked.netlist).expect("locked netlist well-formed");
     let nl = &sv.netlist;
@@ -109,8 +110,13 @@ pub fn fall_attack_with(
     for (gi, gate) in nl.gates().iter().enumerate() {
         // A per-gate clock read would dominate the sweep on big netlists;
         // every 256 gates keeps the overrun below a scheduling quantum.
-        if gi % 256 == 0 && out_of_time() {
-            return timed_out(0, Vec::new());
+        // Each chunk is one unit of virtual time (ticked *before* the
+        // check, so a zero budget times out at chunk 0 deterministically).
+        if gi % 256 == 0 {
+            budget.clock.tick(1);
+            if out_of_time() {
+                return timed_out(0, Vec::new());
+            }
         }
         if gate.kind() != GateKind::And || gate.inputs().len() < 2 {
             continue;
@@ -156,6 +162,7 @@ pub fn fall_attack_with(
         key_set.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let mut candidates: Vec<(NetId, NetId, KeyValue)> = Vec::new();
     for s in &strips {
+        budget.clock.tick(1);
         if out_of_time() {
             return timed_out(candidates.len(), Vec::new());
         }
@@ -187,11 +194,19 @@ pub fn fall_attack_with(
     // ---- Key confirmation (SAT equivalence check) --------------------------
     let mut keys = Vec::new();
     for (strip_root, restore_root, cand) in &candidates {
+        budget.clock.tick(1);
         let Some(rem) = budget.remaining(start) else {
             return timed_out(candidates.len(), keys);
         };
-        if confirm_key(nl, *strip_root, *restore_root, cand, rem, portfolio)
-            && verify_candidate_key(locked, cand, 256, 0xfa11)
+        if confirm_key(
+            nl,
+            *strip_root,
+            *restore_root,
+            cand,
+            rem,
+            &budget.clock,
+            portfolio,
+        ) && verify_candidate_key(locked, cand, 256, 0xfa11)
         {
             keys.push(cand.clone());
         }
@@ -207,7 +222,7 @@ pub fn fall_attack_with(
         keys_found: keys.len(),
         keys,
         outcome,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
     }
 }
 
@@ -251,10 +266,14 @@ fn confirm_key(
     restore_root: NetId,
     cand: &KeyValue,
     remaining: std::time::Duration,
+    clock: &ClockHandle,
     portfolio: &Portfolio,
 ) -> bool {
     let mut enc = CircuitEncoder::new();
     enc.solver.set_conflict_budget(Some(200_000));
+    // Clock first: the deadline below must be computed on the attack's
+    // clock, not the wall default.
+    enc.solver.set_clock(clock.clone());
     enc.solver.set_timeout(Some(remaining));
     portfolio.install(&mut enc.solver);
     // Copy A: keys bound to candidate.
@@ -344,18 +363,58 @@ mod tests {
     }
 
     #[test]
-    fn fall_respects_a_tiny_timeout() {
-        // Regression (attack-budget bugfix): FALL used to record elapsed
-        // time but never enforce the budget. With a zero budget it must
-        // report Timeout, not run to completion.
+    fn fall_times_out_at_exact_virtual_instants() {
+        // Replaces the old zero-wall-timeout regression, which raced the
+        // scheduler: under a virtual clock (1 ms per work unit — structural
+        // chunk, strip pairing, key confirmation, solver conflict) the
+        // timeout fires at an exact, machine-independent point.
+        use cutelock_core::clock::VirtualClock;
+        let ms = Duration::from_millis;
         let lc = TtLock::new(4, 3).lock(&s27()).unwrap();
+
+        // Zero budget: the very first structural chunk's tick expires it.
+        let vc = VirtualClock::with_tick(1_000_000);
         let budget = AttackBudget {
-            timeout: std::time::Duration::ZERO,
+            timeout: Duration::ZERO,
+            clock: vc.handle(),
             ..Default::default()
         };
         let report = fall_attack_with_budget(&lc, &budget);
         assert_eq!(report.outcome, AttackOutcome::Timeout);
+        assert_eq!(report.candidates, 0);
         assert_eq!(report.keys_found, 0);
+        assert_eq!(report.elapsed, ms(1), "expired at structural chunk 0");
+
+        // Two units: the structural chunk and the one strip pairing fit,
+        // the confirmation of candidate 0 does not — FALL reports the
+        // candidate it found but confirms no key.
+        let vc = VirtualClock::with_tick(1_000_000);
+        let budget = AttackBudget {
+            timeout: ms(2),
+            clock: vc.handle(),
+            ..Default::default()
+        };
+        let report = fall_attack_with_budget(&lc, &budget);
+        assert_eq!(report.outcome, AttackOutcome::Timeout);
+        assert_eq!(report.candidates, 1);
+        assert_eq!(report.keys_found, 0);
+        assert_eq!(report.elapsed, ms(3), "expired at confirmation 0");
+
+        // A generous virtual budget completes: two runs on fresh clocks
+        // produce bit-identical reports, virtual elapsed included.
+        let run = || {
+            let vc = VirtualClock::with_tick(1_000_000);
+            let budget = AttackBudget {
+                timeout: Duration::from_secs(3600),
+                clock: vc.handle(),
+                ..Default::default()
+            };
+            fall_attack_with_budget(&lc, &budget)
+        };
+        let (a, b) = (run(), run());
+        assert!(matches!(a.outcome, AttackOutcome::KeyFound(_)));
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.elapsed, b.elapsed, "virtual elapsed is deterministic");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::{AttackBudget, AttackReport};
 /// Delegates to [`run_attack`](crate::run_attack) with
 /// [`AttackStrategy::Kc2`](crate::AttackStrategy::Kc2).
 pub fn kc2_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::Kc2).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Kc2).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -48,6 +48,7 @@ mod tests {
             max_bound: 6,
             max_iterations: 64,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

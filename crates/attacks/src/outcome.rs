@@ -1,6 +1,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use cutelock_core::clock::{ClockHandle, Instant};
 use cutelock_core::{KeyValue, LockedCircuit};
 
 /// Result of an attack run, mirroring the paper's table legend.
@@ -52,9 +53,15 @@ impl fmt::Display for AttackOutcome {
 
 /// Search budgets an attack must respect (the paper ran with a 20-hour
 /// wall-clock limit; the reproduction defaults are scaled down).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The `timeout` is measured on the budget's [`clock`](AttackBudget::clock)
+/// — a wall clock by default, so behavior matches the pre-clock tree
+/// bit-for-bit; a `VirtualClock` in deterministic-timeout tests and
+/// `--virtual-clock` runs, where the deadline fires at an exact point in
+/// the search (see `cutelock_core::clock`).
+#[derive(Debug, Clone)]
 pub struct AttackBudget {
-    /// Wall-clock limit for the whole attack.
+    /// Time limit for the whole attack, on [`clock`](AttackBudget::clock).
     pub timeout: Duration,
     /// Maximum unrolling depth for BMC-family attacks.
     pub max_bound: usize,
@@ -62,16 +69,48 @@ pub struct AttackBudget {
     pub max_iterations: usize,
     /// SAT conflict budget per solver call (`None` = unlimited).
     pub conflict_budget: Option<u64>,
+    /// The time source the timeout is measured against. Every solver an
+    /// attack under this budget creates inherits this clock.
+    pub clock: ClockHandle,
 }
 
 impl AttackBudget {
-    /// Wall-clock still unspent by an attack that started at `start`
-    /// (`None` once the deadline has passed) — the single deadline check
-    /// every attack loop polls.
-    pub fn remaining(&self, start: std::time::Instant) -> Option<Duration> {
-        self.timeout.checked_sub(start.elapsed())
+    /// The budget's idea of "now" — what attacks record as their start
+    /// instant and what `remaining` measures against.
+    pub fn start(&self) -> Instant {
+        self.clock.now()
+    }
+
+    /// Time still unspent by an attack that started at `start` (`None`
+    /// once the deadline has passed) — the single deadline check every
+    /// attack loop polls.
+    pub fn remaining(&self, start: Instant) -> Option<Duration> {
+        self.timeout
+            .checked_sub(self.clock.now().duration_since(start))
+    }
+
+    /// Replaces the clock (builder style) — the hook tests use to swap in
+    /// a `VirtualClock`.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
+        self
     }
 }
+
+/// Budget equality compares the numeric limits and requires both budgets
+/// to read the **same clock instance**: two budgets that time out at the
+/// same duration on different clocks are not interchangeable.
+impl PartialEq for AttackBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.timeout == other.timeout
+            && self.max_bound == other.max_bound
+            && self.max_iterations == other.max_iterations
+            && self.conflict_budget == other.conflict_budget
+            && self.clock.same_clock(&other.clock)
+    }
+}
+
+impl Eq for AttackBudget {}
 
 impl Default for AttackBudget {
     fn default() -> Self {
@@ -80,6 +119,7 @@ impl Default for AttackBudget {
             max_bound: 8,
             max_iterations: 256,
             conflict_budget: Some(2_000_000),
+            clock: ClockHandle::wall(),
         }
     }
 }

@@ -29,10 +29,16 @@
 //!   verdicts are reported as [`AttackOutcome::Timeout`].
 //!
 //! Determinism fine print (codified in `docs/DETERMINISM.md` at the
-//! repository root): the query-level guarantee holds as long as no
-//! wall-clock deadline fires mid-race — the same caveat the table bins'
-//! `--threads` determinism check already carries, and the reason the CI
-//! diffs run with generous `--timeout` values.
+//! repository root): deadlines are measured on the budget's
+//! [`ClockHandle`](cutelock_core::clock::ClockHandle). Under the default
+//! wall clock the query-level guarantee holds as long as no deadline
+//! fires mid-race — the reason the CI diffs run with generous
+//! `--timeout` values. Under a virtual clock even a mid-race expiry is
+//! deterministic: entrants never tick the shared clock (a cancelled
+//! laggard's conflict count is scheduling-dependent); instead the race
+//! credits each epoch's conflict slice once, after the epoch — a pure
+//! function of the epoch index — so `golden_timeout.rs` can pin timeout
+//! verdicts across thread counts.
 //!
 //! # Example
 //!
@@ -169,6 +175,7 @@ impl Portfolio {
             return SatResult::Unknown;
         }
         let saved_budget = solver.conflict_budget();
+        let ticking = solver.clock_ticking();
         // The race gives up once every entrant has spent the solver's own
         // conflict budget — the same surrender point a single solver has.
         let cap = saved_budget.unwrap_or(u64::MAX);
@@ -178,6 +185,12 @@ impl Portfolio {
             .map(|cfg| {
                 let mut s = solver.clone();
                 s.apply_config(cfg);
+                // Entrants must not tick the (shared) clock: which conflicts
+                // a retired laggard got to run is scheduling-dependent, so
+                // entrant ticks would leak thread timing into virtual time.
+                // The race ticks once per epoch slice instead (below) —
+                // a pure function of the epoch index.
+                s.set_clock_ticking(false);
                 Mutex::new(s)
             })
             .collect();
@@ -219,11 +232,19 @@ impl Portfolio {
                 }
                 r
             });
+            // Virtual-clock accounting for the whole epoch: every entrant
+            // ran (up to) one `slice`, so the race credits exactly `slice`
+            // conflicts of time — deterministic because the slice sizes are
+            // pure functions of the epoch index, winner or no winner.
+            if ticking {
+                solver.clock().tick(slice);
+            }
             if let Some(w) = results.iter().position(|&r| r != SatResult::Unknown) {
                 let winner = entrants.into_iter().nth(w).expect("winner index in range");
                 let mut winner = winner.into_inner().expect("entrant lock");
                 winner.set_conflict_budget(saved_budget);
                 winner.set_race_stop(None);
+                winner.set_clock_ticking(ticking);
                 *solver = winner;
                 return results[w];
             }
@@ -406,6 +427,7 @@ mod tests {
             max_bound: 4,
             max_iterations: 64,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

@@ -23,7 +23,7 @@ use crate::{AttackBudget, AttackReport};
 /// Delegates to [`run_attack`](crate::run_attack) with
 /// [`AttackStrategy::Rane`](crate::AttackStrategy::Rane).
 pub fn rane_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::Rane).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::Rane).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -53,6 +53,7 @@ mod tests {
             max_bound: 6,
             max_iterations: 64,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

@@ -21,8 +21,6 @@
 //! unified [`MiterBuilder`](cutelock_sat::MiterBuilder) engine; this module
 //! is the DIP loop only.
 
-use std::time::Instant;
-
 use cutelock_core::{KeyValue, LockedCircuit};
 use cutelock_sat::SatResult;
 
@@ -36,7 +34,7 @@ use crate::{AttackBudget, AttackOutcome, AttackReport};
 /// [`run_attack`](crate::run_attack) with
 /// [`AttackStrategy::ScanSat`](crate::AttackStrategy::ScanSat).
 pub fn scan_sat_attack(locked: &LockedCircuit, budget: &AttackBudget) -> AttackReport {
-    let spec = crate::AttackSpec::new(crate::AttackStrategy::ScanSat).with_budget(*budget);
+    let spec = crate::AttackSpec::new(crate::AttackStrategy::ScanSat).with_budget(budget.clone());
     crate::run_attack(locked, &spec)
 }
 
@@ -49,16 +47,17 @@ pub fn scan_sat_attack_with(
     budget: &AttackBudget,
     portfolio: &Portfolio,
 ) -> AttackReport {
-    let start = Instant::now();
+    let start = budget.start();
     let report = |outcome: AttackOutcome, iterations: usize| AttackReport {
         outcome,
-        elapsed: start.elapsed(),
+        elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
         return report(AttackOutcome::Fail, 0);
     };
+    m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
     let diff = m.obs_differ();
     // The "observations differ" constraint holds only during the DIP hunt:
@@ -120,6 +119,7 @@ mod tests {
             max_bound: 1,
             max_iterations: 256,
             conflict_budget: Some(500_000),
+            ..AttackBudget::default()
         }
     }
 

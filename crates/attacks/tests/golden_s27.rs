@@ -32,6 +32,7 @@ fn budget() -> AttackBudget {
         max_bound: 6,
         max_iterations: 256,
         conflict_budget: Some(500_000),
+        ..AttackBudget::default()
     }
 }
 

@@ -23,6 +23,7 @@ fn budget() -> AttackBudget {
         max_bound: 5,
         max_iterations: 64,
         conflict_budget: Some(300_000),
+        ..AttackBudget::default()
     }
 }
 

@@ -49,7 +49,7 @@ fn main() {
     // generic `AttackReport` does not carry). DANA runs on the bare
     // netlist and stays outside the spec door entirely.
     let spec = opt.spec(AttackStrategy::Fall);
-    let budget = spec.budget;
+    let budget = spec.budget.clone();
     println!("Table V: Cute-Lock-Str security against removal attacks");
     println!(
         "{:<8} {:>10} {:>10}  {:>10} {:>6} {:>12}",

@@ -155,6 +155,7 @@ impl Options {
             max_bound: if self.quick { 4 } else { 8 },
             max_iterations: if self.quick { 48 } else { 192 },
             conflict_budget: Some(if self.quick { 200_000 } else { 2_000_000 }),
+            ..AttackBudget::default()
         }
     }
 

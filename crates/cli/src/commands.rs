@@ -10,6 +10,7 @@ use cutelock_attacks::portfolio::{Portfolio, Strategy};
 use cutelock_attacks::{run_attack, run_race, AttackBudget, AttackSpec, AttackStrategy};
 use cutelock_circuits::{iscas89, iscas89_names, itc99, itc99_names};
 use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
+use cutelock_core::clock::VirtualClock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
 use cutelock_jobs::{Client, Limits, ServeConfig, Server};
@@ -248,12 +249,13 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         }
     };
     let timeout: u64 = args.num("timeout", if quick { 10 } else { 60 })?;
-    let budget = if quick {
+    let mut budget = if quick {
         AttackBudget {
             timeout: Duration::from_secs(timeout.min(10)),
             max_bound: 4,
             max_iterations: 48,
             conflict_budget: Some(200_000),
+            ..AttackBudget::default()
         }
     } else {
         AttackBudget {
@@ -261,6 +263,14 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
             ..AttackBudget::default()
         }
     };
+    // --virtual-clock NS: measure --timeout on a deterministic clock that
+    // advances NS nanoseconds per solver conflict (plus the attacks' own
+    // work-unit ticks) instead of wall time. Timeout verdicts then land at
+    // an exact point in the search, identical on any machine or --threads.
+    let vclock_ns: u64 = args.num("virtual-clock", 0)?;
+    if vclock_ns > 0 {
+        budget.clock = VirtualClock::with_tick(vclock_ns).handle();
+    }
     let mode = match args.opt("mode") {
         Some(m) => m,
         None if quick => "sat",
@@ -341,6 +351,7 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         workers,
         limits: Limits {
             max_timeout: Duration::from_secs(max_timeout.max(1)),
+            ..Limits::default()
         },
     };
     let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;

@@ -3,22 +3,24 @@
 //! lane under a batch blocker, a mid-solve CANCEL unwinding through the
 //! solver stop slot, and a cache hit on an identical resubmission.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use cutelock_core::clock::ClockHandle;
 use cutelock_jobs::{Client, ServeConfig, Server};
 
 /// Polls `STATUS id` until `pred` matches the response line (or panics at
 /// the deadline). The daemon answers from a mutex-guarded snapshot, so
 /// polling is cheap.
 fn poll_status(client: &mut Client, id: u64, pred: impl Fn(&str) -> bool, what: &str) -> String {
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let clock = ClockHandle::wall();
+    let deadline = clock.now() + Duration::from_secs(60);
     loop {
         let line = client.request(&format!("STATUS {id}")).expect("status");
         if pred(&line) {
             return line;
         }
         assert!(
-            Instant::now() < deadline,
+            clock.now() < deadline,
             "timed out waiting for {what}; last: {line}"
         );
         std::thread::sleep(Duration::from_millis(10));
@@ -75,13 +77,14 @@ fn daemon_serves_two_clients_with_fairness_cancel_and_cache() {
     assert!(blocker.contains("state=running"), "{blocker}");
 
     // --- CANCEL unwinds a running solve through its stop flag. ---------
-    let started = Instant::now();
+    let clock = ClockHandle::wall();
+    let started = clock.now();
     let r = alice.request("CANCEL 1").expect("cancel");
     assert_eq!(r, "OK id=1 cancel-requested");
     let line = alice.request("RESULT 1 --wait").expect("cancelled result");
     assert!(line.contains("state=cancelled"), "{line}");
     assert!(
-        started.elapsed() < Duration::from_secs(30),
+        clock.now().duration_since(started) < Duration::from_secs(30),
         "a cancel must interrupt the solver, not wait out the instance"
     );
 

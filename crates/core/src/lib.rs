@@ -55,6 +55,7 @@
 
 pub mod baselines;
 pub mod beh;
+pub mod clock;
 mod counter;
 pub mod fingerprint;
 mod key;

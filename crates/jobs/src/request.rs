@@ -35,9 +35,10 @@ use std::time::Duration;
 
 use cutelock_attacks::certify::prove_locked_equivalence;
 use cutelock_attacks::portfolio::Portfolio;
-use cutelock_attacks::{run_attack, AttackBudget, AttackSpec, AttackStrategy};
+use cutelock_attacks::{run_attack, AttackBudget, AttackOutcome, AttackSpec, AttackStrategy};
 use cutelock_circuits::{iscas89, itc99};
 use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
+use cutelock_core::clock::ClockHandle;
 use cutelock_core::fingerprint::Fingerprint;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::LockedCircuit;
@@ -48,16 +49,22 @@ use cutelock_sat::{Lit, SatResult, Solver, Var};
 use crate::queue::{Lane, SubmitRequest};
 
 /// Hard ceilings a daemon imposes on submitted work.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Limits {
-    /// Longest wall-clock budget a job may request.
+    /// Longest budget a job may request, measured on [`Limits::clock`].
     pub max_timeout: Duration,
+    /// The clock attack budgets are measured on. Defaults to the wall
+    /// clock; a [`VirtualClock`](cutelock_core::clock::VirtualClock)
+    /// here makes every deadline in the daemon deterministic — timeouts
+    /// fire at an exact solver-conflict count instead of a wall instant.
+    pub clock: ClockHandle,
 }
 
 impl Default for Limits {
     fn default() -> Self {
         Self {
             max_timeout: Duration::from_secs(3600),
+            clock: ClockHandle::wall(),
         }
     }
 }
@@ -188,6 +195,7 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
     let threads: usize = flags.num("threads", 1)?;
     let budget = AttackBudget {
         timeout,
+        clock: limits.clock.clone(),
         ..AttackBudget::default()
     };
     let spec = AttackSpec::new(strategy)
@@ -204,6 +212,16 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
         // CANCEL unwinds the attack within one portfolio epoch.
         spec.portfolio.stop = Some(Arc::clone(stop));
         let report = run_attack(&locked, &spec);
+        // A budget expiry is a *failed* job, not a result: on a wall
+        // clock the verdict is not reproducible (so it must never reach
+        // the cache), and callers polling for a verdict should see the
+        // same `failed` state either way.
+        if report.outcome == AttackOutcome::Timeout {
+            return Err(format!(
+                "timed out: iters={} bound={}",
+                report.iterations, report.bound
+            ));
+        }
         // No elapsed time on the wire: the cached replay of a result must
         // be byte-identical to the original computation.
         Ok(format!(
@@ -432,6 +450,7 @@ mod tests {
     fn timeout_is_clamped_to_the_daemon_limit() {
         let limits = Limits {
             max_timeout: Duration::from_secs(5),
+            ..Limits::default()
         };
         // Parses fine; the clamp shows up in the cache key being equal to
         // an explicit 5s request.
@@ -442,5 +461,34 @@ mod tests {
             .unwrap()
             .cache_key;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn over_ceiling_attacks_fail_deterministically_on_a_virtual_clock() {
+        use cutelock_core::clock::VirtualClock;
+        // 1 ms of virtual time per solver conflict. The job asks for 9999 s
+        // but the daemon's ceiling clamps it to 5 ms = 5 conflicts, so the
+        // deadline fires at an exact point in the search — no wall waiting,
+        // no flakiness, identical on any machine.
+        let clock = VirtualClock::with_tick(1_000_000);
+        let limits = Limits {
+            max_timeout: Duration::from_millis(5),
+            clock: clock.handle(),
+        };
+        let req = parse_submit(
+            "attack --mode int --scheme str --keys 4 --key-bits 4 --ffs 2 --timeout 9999",
+            &limits,
+        )
+        .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let err = (req.work)(&stop).unwrap_err();
+        assert!(err.starts_with("timed out:"), "got: {err}");
+        // The deadline was crossed purely by conflict ticks on the shared
+        // virtual clock, never by the host's wall time.
+        assert!(
+            clock.handle().now().as_nanos() >= 5_000_000,
+            "virtual clock never reached the ceiling: {} ns",
+            clock.handle().now().as_nanos()
+        );
     }
 }

@@ -28,7 +28,7 @@ use crate::queue::{JobQueue, JobStatus, WorkerPool};
 use crate::request::{parse_submit, Limits};
 
 /// Daemon configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads draining the job queue (min 1; worker 0 is the
     /// express-reserved fairness worker when more than one).
@@ -95,7 +95,7 @@ impl Server {
                         streams.push(handle);
                     }
                     let queue = self.queue.clone();
-                    let limits = self.limits;
+                    let limits = self.limits.clone();
                     connections.push(std::thread::spawn(move || {
                         // A dropped/failed connection only ends that
                         // client's session; the daemon carries on.

@@ -1,6 +1,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use cutelock_core::clock::{ClockHandle, Instant};
 
 use crate::config::{splitmix64, PolarityMode, SolverConfig};
 use crate::{Lit, Var};
@@ -100,6 +102,16 @@ pub struct Solver {
     num_learnts: usize,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// The time source deadlines are measured against — [`ClockHandle::wall`]
+    /// by default, a `VirtualClock` in deterministic-timeout tests and
+    /// `--virtual-clock` runs (see `cutelock_core::clock`).
+    clock: ClockHandle,
+    /// Whether this solver credits its conflicts to the clock
+    /// ([`Clock::tick`](cutelock_core::clock::Clock::tick), one unit per
+    /// conflict). Enabled by [`set_clock`](Solver::set_clock); the portfolio
+    /// turns it **off** for race entrants so cancellation timing cannot
+    /// perturb virtual time (the race ticks per epoch slice instead).
+    clock_ticks: bool,
     /// Luby restart base multiplier (conflicts before the first restart).
     restart_base: u64,
     /// Cooperative cancellation: when the shared flag reads `true`, the
@@ -151,6 +163,8 @@ impl Solver {
             num_learnts: 0,
             conflict_budget: None,
             deadline: None,
+            clock: ClockHandle::wall(),
+            clock_ticks: false,
             restart_base: 100,
             stop: None,
             race_stop: None,
@@ -200,8 +214,41 @@ impl Solver {
     }
 
     /// Aborts searches that run past `timeout` from now (`None` removes it).
+    /// "Now" is read from the installed [`ClockHandle`], so under a virtual
+    /// clock the deadline is a deterministic point in the search.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
-        self.deadline = timeout.map(|d| Instant::now() + d);
+        let now = self.clock.now();
+        self.deadline = timeout.map(|d| now + d);
+    }
+
+    /// Installs the time source deadlines are measured against and starts
+    /// crediting this solver's conflicts to it (one
+    /// [tick](cutelock_core::clock::Clock::tick) per conflict — a no-op on
+    /// wall clocks, the advance mechanism on virtual ones). Cloned solvers
+    /// share the installed clock.
+    pub fn set_clock(&mut self, clock: ClockHandle) {
+        self.clock = clock;
+        self.clock_ticks = true;
+    }
+
+    /// The time source this solver's deadlines read.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
+    /// True when this solver credits its conflicts to the clock.
+    pub fn clock_ticking(&self) -> bool {
+        self.clock_ticks
+    }
+
+    /// Enables or disables per-conflict clock ticking without replacing the
+    /// clock. The portfolio race disables ticking on its entrants: which
+    /// conflicts a retired laggard got to is scheduling-dependent, so
+    /// entrant ticks would leak thread timing into virtual time. The race
+    /// advances the clock by whole epoch slices instead (pure functions of
+    /// the epoch index), and re-enables ticking when it adopts a winner.
+    pub fn set_clock_ticking(&mut self, ticks: bool) {
+        self.clock_ticks = ticks;
     }
 
     /// The currently configured conflict budget (`None` = unlimited).
@@ -216,7 +263,7 @@ impl Solver {
     /// already passed — the portfolio epoch loop polls this between epochs
     /// so an expired attack budget ends the race instead of another slice.
     pub fn deadline_expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| self.clock.now() >= d)
     }
 
     /// Installs (or removes) a shared cooperative-cancellation flag.
@@ -587,6 +634,12 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                if self.clock_ticks {
+                    // One work unit per conflict: under a virtual clock this
+                    // is what makes a `--timeout` deadline fire at an exact
+                    // conflict count.
+                    self.clock.tick(1);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return Some(SatResult::Unsat);
@@ -619,7 +672,7 @@ impl Solver {
                 if let Some(dl) = self.deadline {
                     // Checking the clock is cheap relative to propagation
                     // between conflicts.
-                    if Instant::now() >= dl {
+                    if self.clock.now() >= dl {
                         return Some(SatResult::Unknown);
                     }
                 }

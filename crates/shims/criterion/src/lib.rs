@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use cutelock_core::clock::ClockHandle;
 
 /// Prevent the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
@@ -180,17 +182,18 @@ impl Bencher {
     /// is spent (at least one call), then times `sample_size` individual
     /// iterations and records median/min/max.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let warm_start = Instant::now();
+        let clock = ClockHandle::wall();
+        let warm_start = clock.now();
         let mut warm_up_iters = 0u64;
-        while warm_up_iters == 0 || warm_start.elapsed() < self.warm_up_time {
+        while warm_up_iters == 0 || clock.now().duration_since(warm_start) < self.warm_up_time {
             black_box(f());
             warm_up_iters += 1;
         }
         let mut samples = Vec::with_capacity(self.sample_size as usize);
         for _ in 0..self.sample_size {
-            let start = Instant::now();
+            let start = clock.now();
             black_box(f());
-            samples.push(start.elapsed());
+            samples.push(clock.now().duration_since(start));
         }
         self.result = Measurement::from_samples(samples, warm_up_iters);
     }

@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_bound: 6,
         max_iterations: 128,
         conflict_budget: Some(500_000),
+        ..AttackBudget::default()
     };
 
     // Three locks to compare.

@@ -10,11 +10,11 @@
 //! cargo run --release --example parallel_sweep
 //! ```
 
-use std::time::Instant;
-
+use cute_lock::locking::clock::ClockHandle;
 use cute_lock::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = ClockHandle::wall();
     let circuit = itc99("b12")?;
     let nl = &circuit.netlist;
     let wide = Pool::auto();
@@ -36,12 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect()
         })
         .collect();
-    let t = Instant::now();
+    let t = clock.now();
     let seq = sweep(nl, &Pool::sequential(), &batches)?;
-    let t_seq = t.elapsed();
-    let t = Instant::now();
+    let t_seq = clock.now() - t;
+    let t = clock.now();
     let par = sweep(nl, &wide, &batches)?;
-    let t_par = t.elapsed();
+    let t_par = clock.now() - t;
     assert_eq!(seq, par, "sweep must not depend on thread count");
     println!(
         "sweep   (64 batches, 409600 lanes·cycles): 1 thread {t_seq:?}, {} threads {t_par:?}",
@@ -49,12 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Activity: 4096 cycles in 256-cycle replications ------------------
-    let t = Instant::now();
+    let t = clock.now();
     let a_seq = switching_activity_par(nl, 4096, 7, &Pool::sequential())?;
-    let t_seq = t.elapsed();
-    let t = Instant::now();
+    let t_seq = clock.now() - t;
+    let t = clock.now();
     let a_par = switching_activity_par(nl, 4096, 7, &wide)?;
-    let t_par = t.elapsed();
+    let t_par = clock.now() - t;
     assert_eq!(a_seq.toggle_rate, a_par.toggle_rate);
     assert_eq!(a_seq.one_probability, a_par.one_probability);
     println!(

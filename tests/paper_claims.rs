@@ -13,6 +13,7 @@ fn budget() -> AttackBudget {
         max_bound: 6,
         max_iterations: 64,
         conflict_budget: Some(500_000),
+        ..AttackBudget::default()
     }
 }
 

@@ -219,3 +219,106 @@ proptest! {
         }
     }
 }
+
+/// Clock-arithmetic properties: the repo-local `Instant`/`Duration`
+/// algebra in `cutelock_core::clock` must be total (saturating, never
+/// panicking) and the two clock implementations must agree on it.
+mod clock_properties {
+    use cute_lock::locking::clock::{Clock, ClockHandle, Instant, VirtualClock};
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `duration_since` and the saturating operators are consistent:
+        /// later - earlier round-trips through `+`, and the reverse
+        /// direction saturates to zero instead of panicking.
+        #[test]
+        fn instant_algebra_is_total(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+            let t0 = Instant::from_nanos(a);
+            let dur = Duration::from_nanos(d);
+            let t1 = t0 + dur;
+            prop_assert!(t1 >= t0, "adding a Duration never goes backwards");
+            prop_assert_eq!(t1.duration_since(t0), dur);
+            prop_assert_eq!(t0.duration_since(t1), Duration::ZERO, "reverse saturates");
+            prop_assert_eq!(t0.checked_duration_since(t1).is_some(), d == 0);
+            prop_assert_eq!(t1.checked_duration_since(t0), Some(dur));
+            prop_assert_eq!(t1 - t0, dur);
+            prop_assert_eq!((t1 - dur).as_nanos(), a, "sub undoes add below saturation");
+        }
+
+        /// Addition saturates at `FAR_FUTURE` and subtraction at `EPOCH`;
+        /// no overflow panic for any operand pair.
+        #[test]
+        fn instant_algebra_saturates(a in 0u64..u64::MAX, d in 0u64..u64::MAX) {
+            let t = Instant::from_nanos(a);
+            let dur = Duration::from_nanos(d);
+            let up = t + dur;
+            prop_assert_eq!(up.as_nanos(), a.saturating_add(d));
+            let down = t - dur;
+            prop_assert_eq!(down.as_nanos(), a.saturating_sub(d));
+        }
+
+        /// A virtual clock never goes backwards: any interleaving of
+        /// `advance` and `tick` is monotone, and the total elapsed time is
+        /// the exact sum of the steps.
+        #[test]
+        fn virtual_clock_is_monotone_and_exact(
+            rate in 1u64..1_000_000,
+            steps in proptest::collection::vec(0u64..1_000, 1..40),
+        ) {
+            let clock = VirtualClock::with_tick(rate);
+            let start = clock.now();
+            prop_assert_eq!(start, Instant::EPOCH);
+            let mut last = start;
+            let mut expected = 0u128;
+            for (i, &s) in steps.iter().enumerate() {
+                if i % 2 == 0 {
+                    clock.tick(s);
+                    expected += u128::from(s) * u128::from(rate);
+                } else {
+                    clock.advance(Duration::from_nanos(s));
+                    expected += u128::from(s);
+                }
+                let now = clock.now();
+                prop_assert!(now >= last, "virtual time went backwards");
+                last = now;
+            }
+            prop_assert_eq!(u128::from(last.duration_since(start).as_nanos() as u64), expected);
+        }
+
+        /// The wall and virtual clocks agree on Duration algebra: moving a
+        /// virtual clock by `d` advances `now()` by exactly `d`, and two
+        /// wall readings bracket a virtual advance monotonically (the wall
+        /// clock can only move forward while we work).
+        #[test]
+        fn wall_and_virtual_agree_on_duration_algebra(d in 0u64..1_000_000_000) {
+            let dur = Duration::from_nanos(d);
+            let v = VirtualClock::new();
+            let v0 = v.now();
+            v.advance(dur);
+            prop_assert_eq!(v.now().duration_since(v0), dur);
+            let w = ClockHandle::wall();
+            let w0 = w.now();
+            let w1 = w.now();
+            prop_assert!(w1 >= w0, "wall clock is monotone");
+            // Both implementations produce Instants in the same algebra:
+            // shifting either reading by `dur` adds exactly `dur`.
+            prop_assert_eq!((w0 + dur).duration_since(w0), dur);
+            prop_assert_eq!((v0 + dur).duration_since(v0), dur);
+        }
+
+        /// Ticks on a no-rate clock (`new()`) are no-ops, like on the wall
+        /// clock: time only moves through explicit `advance`.
+        #[test]
+        fn zero_rate_ticks_are_noops(units in 0u64..1_000_000) {
+            let v = VirtualClock::new();
+            let before = v.now();
+            v.tick(units);
+            prop_assert_eq!(v.now(), before);
+            v.advance(Duration::from_nanos(units));
+            prop_assert_eq!(v.now().duration_since(before), Duration::from_nanos(units));
+        }
+    }
+}
