@@ -56,11 +56,11 @@
 //! assert!(!report.outcome.defense_held() || report.iterations > 0);
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cutelock_core::LockedCircuit;
-use cutelock_sat::{Lit, SatResult, Solver, SolverConfig};
+use cutelock_sat::{merge_exports, Lit, SatResult, ShareCap, SharedClause, Solver, SolverConfig};
 use cutelock_sim::pool::Pool;
 
 use crate::bmc::int_attack_with;
@@ -93,6 +93,55 @@ pub struct Portfolio {
     /// Attack-level cancellation: installed into every solver the attack
     /// creates, so a raced strategy can be retired from outside.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Epoch-barrier clause sharing: when enabled, every no-winner epoch
+    /// ends with each entrant exporting its best learnts
+    /// ([`Solver::export_learnts`]), the sets merged in entrant-index
+    /// order into one canonical batch
+    /// ([`merge_exports`]), and the batch
+    /// re-imported into every entrant before the next slice. Off by
+    /// default — with sharing off the race is bit-identical to the
+    /// pre-sharing portfolio.
+    pub share: bool,
+    /// Quality caps on each sharing exchange (clause length, LBD, batch
+    /// size). Tuning only — never part of a result's identity, exactly
+    /// like [`threads`](Portfolio::threads).
+    pub share_cap: ShareCap,
+    /// Deterministic totals of the sharing traffic this portfolio (and
+    /// every clone of it — the ledger is shared) has generated; what the
+    /// CLI's verbose output and the daemon's RESULT line report.
+    pub ledger: Arc<ShareLedger>,
+}
+
+/// Running totals of a portfolio's clause-sharing traffic. Cloned
+/// [`Portfolio`]s share one ledger, so an attack's per-query races all
+/// accumulate into the spec the caller holds.
+///
+/// The totals are **deterministic** (thread-count-independent): exchanges
+/// happen only in no-winner epochs, where every entrant completed its
+/// full conflict slice, so each entrant's export set — and therefore
+/// every count below — is a pure function of the epoch index.
+#[derive(Debug, Default)]
+pub struct ShareLedger {
+    exported: AtomicU64,
+    imported: AtomicU64,
+    dup_dropped: AtomicU64,
+}
+
+impl ShareLedger {
+    /// `(exported, imported, dup_dropped)` so far.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.exported.load(Ordering::Relaxed),
+            self.imported.load(Ordering::Relaxed),
+            self.dup_dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    fn add(&self, exported: u64, imported: u64, dup_dropped: u64) {
+        self.exported.fetch_add(exported, Ordering::Relaxed);
+        self.imported.fetch_add(imported, Ordering::Relaxed);
+        self.dup_dropped.fetch_add(dup_dropped, Ordering::Relaxed);
+    }
 }
 
 impl Default for Portfolio {
@@ -111,6 +160,9 @@ impl Portfolio {
             threads: 1,
             epoch_base: DEFAULT_EPOCH_BASE,
             stop: None,
+            share: false,
+            share_cap: ShareCap::default(),
+            ledger: Arc::new(ShareLedger::default()),
         }
     }
 
@@ -119,8 +171,7 @@ impl Portfolio {
         Self {
             k: k.max(1),
             threads: threads.max(1),
-            epoch_base: DEFAULT_EPOCH_BASE,
-            stop: None,
+            ..Self::single()
         }
     }
 
@@ -129,6 +180,24 @@ impl Portfolio {
     pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
         self.stop = Some(stop);
         self
+    }
+
+    /// Enables or disables epoch-barrier clause sharing (builder style).
+    pub fn with_share(mut self, share: bool) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Sets the sharing exchange caps (builder style).
+    pub fn with_share_cap(mut self, cap: ShareCap) -> Self {
+        self.share_cap = cap;
+        self
+    }
+
+    /// `(exported, imported, dup_dropped)` clause-sharing totals across
+    /// every race this portfolio (or a clone) has run.
+    pub fn share_stats(&self) -> (u64, u64, u64) {
+        self.ledger.snapshot()
     }
 
     /// Installs this portfolio's attack-level stop flag into a solver the
@@ -254,6 +323,33 @@ impl Portfolio {
                 // the attack level: surrender like a single solver would.
                 // `solver` keeps its pre-race state (budgets untouched).
                 return SatResult::Unknown;
+            }
+            if self.share {
+                // Epoch-barrier clause exchange. This branch only runs in
+                // no-winner epochs, and cancellation only flows from a
+                // finisher — so no entrant was interrupted mid-slice here
+                // and every export set is a pure function of the epoch
+                // index. Exports are gathered in entrant-index order and
+                // merged into one canonical batch, keeping the exchange —
+                // and therefore the whole race — thread-count-independent
+                // (DETERMINISM.md Rule 7).
+                let exports: Vec<Vec<SharedClause>> = entrants
+                    .iter()
+                    .map(|e| {
+                        e.lock()
+                            .expect("entrant lock")
+                            .export_learnts(self.share_cap)
+                    })
+                    .collect();
+                let exported: u64 = exports.iter().map(|s| s.len() as u64).sum();
+                let batch = merge_exports(&exports, self.share_cap);
+                let (mut imported, mut dups) = (0u64, 0u64);
+                for e in &entrants {
+                    let (i, d) = e.lock().expect("entrant lock").import_clauses(&batch);
+                    imported += i;
+                    dups += d;
+                }
+                self.ledger.add(exported, imported, dups);
             }
             epoch += 1;
         }
@@ -528,6 +624,82 @@ mod tests {
         let p = Portfolio::single();
         assert_eq!(p.race(&mut raced), plain.solve());
         assert_eq!(raced.stats().conflicts, plain.stats().conflicts);
+    }
+
+    #[test]
+    fn sharing_on_a_single_portfolio_is_transparent() {
+        // k <= 1 never reaches an epoch barrier: sharing must be a no-op.
+        let mut raced = pigeonhole_solver(5);
+        let mut plain = pigeonhole_solver(5);
+        let p = Portfolio::single().with_share(true);
+        assert_eq!(p.race(&mut raced), plain.solve());
+        assert_eq!(raced.stats().conflicts, plain.stats().conflicts);
+        assert_eq!(p.share_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn sharing_race_is_thread_count_independent() {
+        // With sharing on, the adopted winner's full trajectory AND the
+        // sharing ledger must be identical for any worker count — the
+        // tentpole determinism contract of the clause exchange.
+        let mut reference: Option<(u64, (u64, u64, u64))> = None;
+        for threads in [1, 2, 4] {
+            let mut s = pigeonhole_solver(6);
+            // A small epoch base forces several no-winner epochs, so the
+            // exchange actually fires on this instance.
+            let p = Portfolio {
+                epoch_base: 25,
+                ..Portfolio::new(4, threads)
+            }
+            .with_share(true);
+            assert_eq!(p.race(&mut s), SatResult::Unsat, "{threads} threads");
+            let ledger = p.share_stats();
+            assert!(
+                ledger.0 > 0 && ledger.1 > 0,
+                "sharing should fire: {ledger:?}"
+            );
+            let fp = (s.stats().conflicts, ledger);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(&fp, r, "{threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_race_preserves_sat_verdicts_and_models() {
+        let mut reference: Option<Vec<bool>> = None;
+        for threads in [1, 2, 4] {
+            let mut s = Solver::new();
+            let vars: Vec<_> = (0..12).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                s.add_clause(&[Lit::positive(w[0]), Lit::positive(w[1])]);
+            }
+            s.add_clause(&[Lit::negative(vars[0]), Lit::negative(vars[11])]);
+            let p = Portfolio::new(4, threads).with_share(true);
+            assert_eq!(p.race(&mut s), SatResult::Sat);
+            let model: Vec<bool> = vars.iter().map(|&v| s.value(v) == Some(true)).collect();
+            match &reference {
+                None => reference = Some(model),
+                Some(m) => assert_eq!(&model, m, "{threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_ledger_accumulates_across_clones() {
+        // Spec clones share one ledger, so an attack's per-query races all
+        // report into the portfolio the caller holds.
+        let p = Portfolio {
+            epoch_base: 25,
+            ..Portfolio::new(4, 2)
+        }
+        .with_share(true);
+        let clone = p.clone();
+        let mut s = pigeonhole_solver(6);
+        assert_eq!(clone.race(&mut s), SatResult::Unsat);
+        assert_eq!(p.share_stats(), clone.share_stats());
+        assert!(p.share_stats().0 > 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use cutelock_attacks::sat_attack::{scan_sat_attack, scan_sat_attack_with};
 use cutelock_attacks::{
     run_attack, AttackBudget, AttackOutcome, AttackReport, AttackSpec, AttackStrategy,
 };
+use cutelock_circuits::iscas89;
 use cutelock_circuits::s27::s27;
 use cutelock_core::baselines::{TtLock, XorLock};
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
@@ -228,6 +229,63 @@ fn golden_portfolio_single_is_transparent() {
             golden(&int_attack(&lc, &budget())),
         );
     }
+}
+
+/// Clause-sharing determinism (DETERMINISM.md Rule 7): with the exchange
+/// on, the race must stay bit-identical across 1/2/4 worker threads — and
+/// so must the ledger totals, because exchanges only happen in no-winner
+/// epochs whose exports are a pure function of the epoch index. The small
+/// `epoch_base` keeps the epoch slices below the query difficulty so the
+/// exchange actually fires.
+#[test]
+fn golden_sharing_thread_independence() {
+    // A harder lock than the other goldens: s27's queries solve inside any
+    // entrant's first slice (a winner epoch never exchanges), so the
+    // sharing pin locks a mid-size ISCAS'89 circuit whose queries survive
+    // a few epoch barriers. The conflict cap keeps the race affordable —
+    // a capped surrender is just as deterministic as a verdict.
+    let lc = XorLock::new(12, 3)
+        .lock(&iscas89("s510").expect("bundled").netlist)
+        .expect("locks");
+    let budget = AttackBudget {
+        timeout: Duration::from_secs(60),
+        max_bound: 6,
+        max_iterations: 8,
+        conflict_budget: Some(3_000),
+        ..AttackBudget::default()
+    };
+    let mut reference: Option<(String, (u64, u64, u64))> = None;
+    for threads in [1, 2, 4] {
+        let p = Portfolio {
+            epoch_base: 1,
+            ..Portfolio::new(4, threads)
+        }
+        .with_share(true);
+        let got = (
+            golden(&scan_sat_attack_with(&lc, &budget, &p)),
+            p.share_stats(),
+        );
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "sharing race diverged at {threads} threads"),
+        }
+    }
+    let (exported, imported, _) = reference.expect("three runs").1;
+    assert!(exported > 0 && imported > 0, "exchange never fired");
+}
+
+/// `with_share(false)` — the default — must leave the race untouched:
+/// same golden as the plain portfolio, and the ledger never fires.
+#[test]
+fn golden_sharing_off_is_transparent() {
+    let lc = xor_lock();
+    let off = Portfolio::new(4, 2).with_share(false);
+    let plain = Portfolio::new(4, 2);
+    assert_eq!(
+        golden(&scan_sat_attack_with(&lc, &budget(), &off)),
+        golden(&scan_sat_attack_with(&lc, &budget(), &plain)),
+    );
+    assert_eq!(off.share_stats(), (0, 0, 0));
 }
 
 /// The unified spec door must be a pass-through: for every deterministic

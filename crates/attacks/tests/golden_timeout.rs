@@ -16,6 +16,7 @@ use cutelock_attacks::portfolio::Portfolio;
 use cutelock_attacks::{
     run_attack, AttackBudget, AttackOutcome, AttackReport, AttackSpec, AttackStrategy,
 };
+use cutelock_circuits::iscas89;
 use cutelock_circuits::s27::s27;
 use cutelock_core::baselines::{TtLock, XorLock};
 use cutelock_core::clock::VirtualClock;
@@ -201,6 +202,43 @@ fn golden_virtual_clock_is_transparent_when_budget_is_ample() {
             golden(&run_attack(&cute_lock(), &spec)),
         );
     }
+}
+
+/// Clause exchange under a virtual deadline (DETERMINISM.md Rule 7): a
+/// race that shares clauses and then expires must do so at the same
+/// virtual instant — with the same ledger totals — on 1 or 2 worker
+/// threads. The lock is a mid-size circuit whose queries outlive a few
+/// epoch slices, so exchanges happen before the deadline fires.
+#[test]
+fn golden_sharing_timeout_is_thread_independent() {
+    let lc = XorLock::new(12, 3)
+        .lock(&iscas89("s510").expect("bundled").netlist)
+        .expect("locks");
+    let mut reference: Option<(String, (u64, u64, u64))> = None;
+    for threads in [1, 2] {
+        let portfolio = Portfolio {
+            epoch_base: 1,
+            ..Portfolio::new(4, threads)
+        }
+        .with_share(true);
+        let spec = AttackSpec::new(AttackStrategy::ScanSat)
+            .with_budget(vbudget(40))
+            .with_portfolio(portfolio);
+        let got = (
+            golden(&run_attack(&lc, &spec)),
+            spec.portfolio.share_stats(),
+        );
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(
+                &got, want,
+                "sharing race under a virtual deadline diverged at {threads} threads"
+            ),
+        }
+    }
+    let (got, (exported, _, _)) = reference.expect("two runs");
+    assert!(got.starts_with("Timeout"), "deadline never fired: {got}");
+    assert!(exported > 0, "exchange never fired before the deadline");
 }
 
 /// The portfolio epoch path under a virtual deadline: the race credits

@@ -16,6 +16,7 @@ use cutelock_circuits::{itc99, s27::s27};
 use cutelock_core::baselines::XorLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::LockedCircuit;
+use cutelock_sat::{Lit, SatResult, ShareCap, Solver, Var};
 
 fn budget() -> AttackBudget {
     AttackBudget {
@@ -141,6 +142,100 @@ fn bench_portfolio(c: &mut Criterion) {
     group.finish();
 }
 
+/// Encodes the pigeonhole principle PHP(n) — `n + 1` pigeons into `n`
+/// holes, UNSAT with only exponential resolution refutations — the
+/// deterministic hard instance the clause-sharing group races on.
+fn php_solver(holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+    for _ in 0..pigeons * holes {
+        s.new_var();
+    }
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::positive(var(p, h))).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p in 0..pigeons {
+            for q in (p + 1)..pigeons {
+                s.add_clause(&[Lit::negative(var(p, h)), Lit::negative(var(q, h))]);
+            }
+        }
+    }
+    s
+}
+
+/// The clause-sharing acceptance group: the same portfolio race over a
+/// hard UNSAT proof with the exchange off (first entry = the group
+/// baseline) and on. Every entrant must independently refute PHP without
+/// sharing; with it, each epoch barrier pools the entrants' learnt
+/// clauses, so the refutation closes in fewer conflicts. (An attack on
+/// the bundled s27 locks cannot exercise this: its queries finish inside
+/// any entrant's first slice, and a winner epoch never reaches an
+/// exchange barrier. PHP also needs a wider [`ShareCap`] than the
+/// default — pigeonhole learnts are long and high-LBD, so the default
+/// export filter passes nothing.) Before timing anything the bench
+/// *asserts* the Rule 7 contract on a quick PHP(7) race: share-on
+/// verdicts, winner conflict counts, and ledger totals are bit-identical
+/// across 1 and 4 race threads, and the exchange actually fired.
+///
+/// The timed pair races PHP(8), where sharing roughly halves the
+/// winner's conflict count — a multi-second race either way, so the
+/// group temporarily trims the sample count instead of inheriting the
+/// harness default.
+fn bench_clause_sharing(c: &mut Criterion) {
+    let race = |epoch_base: u64, cap: usize, threads: usize, share: bool| {
+        let mut p = Portfolio {
+            epoch_base,
+            ..Portfolio::new(4, threads)
+        }
+        .with_share(share);
+        p.share_cap = ShareCap::with_limit(cap);
+        p
+    };
+    let verdict = |threads: usize| {
+        let p = race(64, 16, threads, true);
+        let mut s = php_solver(7);
+        let r = p.race(&mut s);
+        (r, s.stats().conflicts, p.share_stats())
+    };
+    let reference = verdict(1);
+    assert_eq!(reference.0, SatResult::Unsat, "PHP must refute");
+    assert_eq!(
+        verdict(4),
+        reference,
+        "sharing race diverged between 1 and 4 threads"
+    );
+    assert!(
+        reference.2 .0 > 0,
+        "exchange never fired: nothing to measure"
+    );
+
+    let off = race(128, 12, 4, false);
+    let on = race(128, 12, 4, true);
+    *c = Criterion::default()
+        .sample_size(3)
+        .warm_up_time(Duration::from_millis(1));
+    let mut group = c.benchmark_group("clause_sharing");
+    group.bench_function("share_off", |b| {
+        b.iter(|| {
+            let mut s = php_solver(8);
+            off.race(&mut s)
+        })
+    });
+    group.bench_function("share_on", |b| {
+        b.iter(|| {
+            let mut s = php_solver(8);
+            on.race(&mut s)
+        })
+    });
+    group.finish();
+    *c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+}
+
 fn bench_dana(c: &mut Criterion) {
     let mut group = c.benchmark_group("dana_clustering");
     for name in ["b03", "b12", "b14"] {
@@ -176,6 +271,7 @@ fn bench_fall(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5));
-    targets = bench_oracle_guided, bench_bbo_incremental, bench_portfolio, bench_dana, bench_fall
+    targets = bench_oracle_guided, bench_bbo_incremental, bench_portfolio, bench_clause_sharing,
+        bench_dana, bench_fall
 }
 criterion_main!(benches);

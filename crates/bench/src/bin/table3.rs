@@ -29,7 +29,7 @@ use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table3 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N]\n\
                      Cute-Lock-Beh vs BBO/INT/KC2 on the Synthezza suite (paper Table III)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -69,39 +69,42 @@ fn main() {
         .filter(|(name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
         .collect();
 
-    // One job per circuit: lock it and run all three attacks. Circuit-level
-    // dispatch is the unit that fills the machine; `--portfolio K`
-    // additionally races K diversified solvers per SAT query inside each
-    // attack (deterministically — output stays `--threads`-independent).
-    let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
-        let (name, k, ki) = selected[i];
-        let Some(stg) = synthezza(name) else {
-            return Err(format!("{name}: missing profile"));
-        };
-        // Large keys on large machines stay affordable with the XOR-mask
-        // wrongful policy (chosen automatically).
-        let schedule = opt.single_key.then(|| {
-            KeySchedule::constant(
-                KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
-                k,
-            )
-        });
-        let locked = CuteLockBeh::new(CuteLockBehConfig {
-            keys: k,
-            key_bits: ki,
-            wrongful: WrongfulPolicy::Auto,
-            seed: 0x7ab1e3,
-            schedule,
-        })
-        .lock(&stg)
-        .map_err(|e| format!("{name}: lock failed: {e}"))?;
-        Ok(Row {
-            name,
-            k,
-            ki,
-            reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec(s))),
-        })
-    });
+    // Two-level dispatch: every circuit job declares its `--portfolio K`
+    // entrants as inner units, and `map_units` hands it a race width sized
+    // so (outer circuits × inner entrants) never oversubscribes the pool.
+    // The raced result is width-independent, so output stays
+    // `--threads`-independent.
+    let results: Vec<Result<Row, String>> =
+        opt.pool()
+            .map_units(&opt.units(selected.len()), |i, width| {
+                let (name, k, ki) = selected[i];
+                let Some(stg) = synthezza(name) else {
+                    return Err(format!("{name}: missing profile"));
+                };
+                // Large keys on large machines stay affordable with the XOR-mask
+                // wrongful policy (chosen automatically).
+                let schedule = opt.single_key.then(|| {
+                    KeySchedule::constant(
+                        KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
+                        k,
+                    )
+                });
+                let locked = CuteLockBeh::new(CuteLockBehConfig {
+                    keys: k,
+                    key_bits: ki,
+                    wrongful: WrongfulPolicy::Auto,
+                    seed: 0x7ab1e3,
+                    schedule,
+                })
+                .lock(&stg)
+                .map_err(|e| format!("{name}: lock failed: {e}"))?;
+                Ok(Row {
+                    name,
+                    k,
+                    ki,
+                    reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec_with(s, width))),
+                })
+            });
 
     let mut resisted = 0usize;
     let mut recovered = 0usize;

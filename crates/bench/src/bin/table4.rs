@@ -26,7 +26,7 @@ use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N]\n\
                      Cute-Lock-Str vs BBO/INT/KC2/RANE on ISCAS'89 + ITC'99 (paper Table IV)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -71,37 +71,41 @@ fn main() {
         .filter(|(_, name, _, _)| opt.selected(name) && (!opt.quick || in_quick_set(name)))
         .collect();
 
-    let results: Vec<Result<Row, String>> = opt.pool().map(selected.len(), |i| {
-        let (suite, name, k, ki) = selected[i];
-        let circuit = if suite == 0 {
-            iscas89(name)
-        } else {
-            itc99(name)
-        }
-        .map_err(|e| format!("{name}: {e}"))?;
-        let schedule = opt.single_key.then(|| {
-            KeySchedule::constant(
-                KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
-                k,
-            )
-        });
-        let locked = CuteLockStr::new(CuteLockStrConfig {
-            keys: k,
-            key_bits: ki,
-            locked_ffs: 1,
-            seed: 0x7ab1e4,
-            schedule,
-            ..Default::default()
-        })
-        .lock(&circuit.netlist)
-        .map_err(|e| format!("{name}: lock failed: {e}"))?;
-        Ok(Row {
-            name,
-            k,
-            ki,
-            reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec(s))),
-        })
-    });
+    // Two-level dispatch: circuits × entrant slices on one pool (see
+    // table3 for the width rationale).
+    let results: Vec<Result<Row, String>> =
+        opt.pool()
+            .map_units(&opt.units(selected.len()), |i, width| {
+                let (suite, name, k, ki) = selected[i];
+                let circuit = if suite == 0 {
+                    iscas89(name)
+                } else {
+                    itc99(name)
+                }
+                .map_err(|e| format!("{name}: {e}"))?;
+                let schedule = opt.single_key.then(|| {
+                    KeySchedule::constant(
+                        KeyValue::from_u64(0x5a5a_5a5a & ((1u64 << ki.min(63)) - 1), ki),
+                        k,
+                    )
+                });
+                let locked = CuteLockStr::new(CuteLockStrConfig {
+                    keys: k,
+                    key_bits: ki,
+                    locked_ffs: 1,
+                    seed: 0x7ab1e4,
+                    schedule,
+                    ..Default::default()
+                })
+                .lock(&circuit.netlist)
+                .map_err(|e| format!("{name}: lock failed: {e}"))?;
+                Ok(Row {
+                    name,
+                    k,
+                    ki,
+                    reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec_with(s, width))),
+                })
+            });
 
     let mut resisted = 0usize;
     let mut recovered = 0usize;

@@ -27,7 +27,7 @@ use cutelock_core::baselines::TtLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 
 const USAGE: &str = "table5 [--quick] [--only NAME] [--baselines] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N]\n\
                      DANA NMI + FALL on Cute-Lock-Str-locked ITC'99 (paper Table V)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -48,8 +48,7 @@ fn main() {
     // differs (the table prints FALL's candidate/key counts, which the
     // generic `AttackReport` does not carry). DANA runs on the bare
     // netlist and stays outside the spec door entirely.
-    let spec = opt.spec(AttackStrategy::Fall);
-    let budget = spec.budget.clone();
+    let budget = opt.budget();
     println!("Table V: Cute-Lock-Str security against removal attacks");
     println!(
         "{:<8} {:>10} {:>10}  {:>10} {:>6} {:>12}",
@@ -64,39 +63,44 @@ fn main() {
         .collect();
 
     let pool = opt.pool();
-    let results: Vec<Result<Row, String>> = pool.map(selected.len(), |i| {
-        let name = selected[i];
-        let circuit = itc99(name).map_err(|e| format!("{name}: {e}"))?;
-        let truth = circuit.word_labels();
-        let clean_dana = dana_attack_with_budget(&circuit.netlist, &budget);
-        let clean = score_against_ground_truth(&clean_dana, &truth);
+    // Two-level dispatch: circuits × entrant slices on one pool (see
+    // table3 for the width rationale).
+    let results: Vec<Result<Row, String>> =
+        pool.map_units(&opt.units(selected.len()), |i, width| {
+            let name = selected[i];
+            let circuit = itc99(name).map_err(|e| format!("{name}: {e}"))?;
+            let truth = circuit.word_labels();
+            let clean_dana = dana_attack_with_budget(&circuit.netlist, &budget);
+            let clean = score_against_ground_truth(&clean_dana, &truth);
 
-        // Lock half of the flip-flops (at least 2) — the paper's removal
-        // experiments lock aggressively ("locking more FFs would provide
-        // more resilience against dataflow and removal attacks", §III-C).
-        let n_lock = (circuit.netlist.dff_count() / 2).max(2);
-        let locked = CuteLockStr::new(CuteLockStrConfig {
-            keys: 4,
-            key_bits: 5,
-            locked_ffs: n_lock,
-            seed: 0x7ab1e5,
-            schedule: None,
-            ..Default::default()
-        })
-        .lock(&circuit.netlist)
-        .map_err(|e| format!("{name}: lock failed: {e}"))?;
-        let dana = dana_attack_with_budget(&locked.netlist, &budget);
-        let locked_score = score_against_ground_truth(&dana, &truth);
-        // `--portfolio K` races FALL's SAT key-confirmation checks.
-        let fall = fall_attack_with(&locked, &spec.budget, &spec.portfolio);
-        Ok(Row {
-            name,
-            clean,
-            locked_score,
-            fall,
-            dana_timed_out: clean_dana.timed_out || dana.timed_out,
-        })
-    });
+            // Lock half of the flip-flops (at least 2) — the paper's removal
+            // experiments lock aggressively ("locking more FFs would provide
+            // more resilience against dataflow and removal attacks", §III-C).
+            let n_lock = (circuit.netlist.dff_count() / 2).max(2);
+            let locked = CuteLockStr::new(CuteLockStrConfig {
+                keys: 4,
+                key_bits: 5,
+                locked_ffs: n_lock,
+                seed: 0x7ab1e5,
+                schedule: None,
+                ..Default::default()
+            })
+            .lock(&circuit.netlist)
+            .map_err(|e| format!("{name}: lock failed: {e}"))?;
+            let dana = dana_attack_with_budget(&locked.netlist, &budget);
+            let locked_score = score_against_ground_truth(&dana, &truth);
+            // `--portfolio K` races FALL's SAT key-confirmation checks at the
+            // width this unit was allocated.
+            let spec = opt.spec_with(AttackStrategy::Fall, width);
+            let fall = fall_attack_with(&locked, &spec.budget, &spec.portfolio);
+            Ok(Row {
+                name,
+                clean,
+                locked_score,
+                fall,
+                dana_timed_out: clean_dana.timed_out || dana.timed_out,
+            })
+        });
 
     let mut clean_scores = Vec::new();
     let mut locked_scores = Vec::new();

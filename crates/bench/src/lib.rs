@@ -13,13 +13,17 @@
 //!
 //! Every binary accepts `--quick` (subset of circuits, smaller budgets) and
 //! prints machine-grep-friendly rows. The attack-suite bins (`table3`,
-//! `table4`, `table5`) fan whole-circuit attack jobs across
-//! [`cutelock_sim::pool::Pool`] and merge the finished rows **in table
-//! order**, so the printed table is identical for any `--threads` count;
-//! `--no-times` additionally masks the wall-clock columns, making the
-//! output byte-for-byte reproducible (the CI determinism check diffs a
-//! 1-thread against an N-thread run). See `crates/bench/README.md` for
-//! per-binary invocations and expected runtimes.
+//! `table4`, `table5`) schedule (circuit × entrant-slice) units onto
+//! **one** [`cutelock_sim::pool::Pool`] via [`Pool::map_units`]: each
+//! circuit job declares its `--portfolio K` entrants as inner units and is
+//! handed a race width sized so the plan never oversubscribes
+//! `--threads`. Finished rows merge **in table order**, so the printed
+//! table is identical for any `--threads` count; `--no-times` additionally
+//! masks the wall-clock columns, making the output byte-for-byte
+//! reproducible (the CI determinism check diffs a 1-thread against an
+//! N-thread run — with and without `--portfolio`/`--share`). See
+//! `crates/bench/README.md` for per-binary invocations and expected
+//! runtimes.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod params;
 use std::time::Duration;
 
 use cutelock_attacks::{AttackBudget, AttackReport, AttackSpec, AttackStrategy, Portfolio};
+use cutelock_sat::ShareCap;
 use cutelock_sim::pool::Pool;
 
 /// Command-line options shared by the table binaries.
@@ -70,11 +75,22 @@ pub struct Options {
     /// Mask wall-clock columns so output is byte-for-byte reproducible.
     pub no_times: bool,
     /// Diversified solver entrants raced per SAT query inside each attack
-    /// (1 = no racing). Entrants run serially within a circuit worker —
-    /// circuit-level dispatch already fills the machine — and the raced
-    /// result is bit-identical to what any entrant thread count produces,
-    /// so `--portfolio` never breaks the `--threads` determinism diff.
+    /// (1 = no racing). The table bins schedule (circuit × entrant-slice)
+    /// units onto **one** pool via [`Pool::map_units`]: each circuit job
+    /// declares `portfolio_k` inner units and receives a race width sized
+    /// so outer workers times inner entrants never oversubscribe
+    /// `--threads`. The raced result is bit-identical for any width, so
+    /// `--portfolio` never breaks the `--threads` determinism diff.
     pub portfolio_k: usize,
+    /// Epoch-barrier clause sharing between portfolio entrants
+    /// (`--share`). Deterministic — exchange batches are merged in
+    /// entrant-index order — so sharing never breaks the `--threads`
+    /// determinism diff either.
+    pub share: bool,
+    /// `--share-cap N`: scales the sharing quality caps via
+    /// [`ShareCap::with_limit`] (`None` = [`ShareCap::default`]). A tuning
+    /// knob like `--threads`, never part of a result's identity.
+    pub share_cap: Option<usize>,
 }
 
 impl Default for Options {
@@ -88,6 +104,8 @@ impl Default for Options {
             threads: None,
             no_times: false,
             portfolio_k: 1,
+            share: false,
+            share_cap: None,
         }
     }
 }
@@ -135,6 +153,14 @@ impl Options {
                     });
                     opt.portfolio_k = k.max(1);
                 }
+                "--share" => opt.share = true,
+                "--share-cap" => {
+                    let n: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--share-cap needs a limit\n{usage}");
+                        std::process::exit(2);
+                    });
+                    opt.share_cap = Some(n);
+                }
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -164,21 +190,46 @@ impl Options {
         self.only.as_deref().is_none_or(|only| only == name)
     }
 
-    /// The query-level portfolio implied by `--portfolio` (single-solver
-    /// when the flag is absent). Entrants race serially inside each
-    /// circuit worker; see [`Options::portfolio_k`].
-    pub fn portfolio(&self) -> Portfolio {
-        Portfolio::new(self.portfolio_k, 1)
+    /// The query-level portfolio implied by `--portfolio`/`--share`,
+    /// racing entrants across `width` threads — the width a
+    /// [`Pool::map_units`] job was allocated. `portfolio_with(1)` races
+    /// entrants serially on the calling worker; every width produces the
+    /// same answer (see [`Options::portfolio_k`]).
+    pub fn portfolio_with(&self, width: usize) -> Portfolio {
+        let mut p = Portfolio::new(self.portfolio_k, width.max(1)).with_share(self.share);
+        if let Some(n) = self.share_cap {
+            p.share_cap = ShareCap::with_limit(n);
+        }
+        p
     }
 
-    /// The full attack request implied by the options for one strategy —
-    /// the [`AttackSpec`] the table bins hand to
-    /// [`run_attack`](cutelock_attacks::run_attack), same door as the CLI
-    /// and the job daemon.
-    pub fn spec(&self, strategy: AttackStrategy) -> AttackSpec {
+    /// [`Options::portfolio_with`] at width 1 — for callers outside the
+    /// two-level table dispatch.
+    pub fn portfolio(&self) -> Portfolio {
+        self.portfolio_with(1)
+    }
+
+    /// The unit counts a table bin hands to [`Pool::map_units`]: each of
+    /// the `n` circuit jobs declares [`portfolio_k`](Options::portfolio_k)
+    /// inner entrant slices. A pure function of the options, so the
+    /// resulting width plan is deterministic.
+    pub fn units(&self, n: usize) -> Vec<usize> {
+        vec![self.portfolio_k; n]
+    }
+
+    /// The full attack request implied by the options for one strategy and
+    /// an allocated race `width` — the [`AttackSpec`] the table bins hand
+    /// to [`run_attack`](cutelock_attacks::run_attack), same door as the
+    /// CLI and the job daemon.
+    pub fn spec_with(&self, strategy: AttackStrategy, width: usize) -> AttackSpec {
         AttackSpec::new(strategy)
             .with_budget(self.budget())
-            .with_portfolio(self.portfolio())
+            .with_portfolio(self.portfolio_with(width))
+    }
+
+    /// [`Options::spec_with`] at width 1.
+    pub fn spec(&self, strategy: AttackStrategy) -> AttackSpec {
+        self.spec_with(strategy, 1)
     }
 
     /// The worker pool implied by `--threads` (one worker per core when the
@@ -279,14 +330,31 @@ mod tests {
         assert_eq!(o.portfolio().k, 1, "default is single-solver");
         let o = parse(&["--portfolio", "4"]);
         assert_eq!(o.portfolio().k, 4);
-        assert_eq!(
-            o.portfolio().threads,
-            1,
-            "entrants race serially in workers"
-        );
+        assert_eq!(o.portfolio().threads, 1, "width-1 portfolio races serially");
+        assert_eq!(o.portfolio_with(3).threads, 3, "allocated width carries");
         // Zero clamps to the single-solver path rather than erroring.
         let o = parse(&["--portfolio", "0"]);
         assert_eq!(o.portfolio().k, 1);
+    }
+
+    #[test]
+    fn share_flags_configure_the_exchange() {
+        let o = parse(&[]);
+        assert!(!o.share);
+        assert!(!o.portfolio().share);
+        let o = parse(&["--share", "--portfolio", "4"]);
+        assert!(o.portfolio().share);
+        assert_eq!(o.portfolio().share_cap, ShareCap::default());
+        let o = parse(&["--share", "--share-cap", "4"]);
+        assert_eq!(o.portfolio().share_cap, ShareCap::with_limit(4));
+    }
+
+    #[test]
+    fn units_declare_one_entrant_set_per_circuit() {
+        let o = parse(&["--portfolio", "4"]);
+        assert_eq!(o.units(3), vec![4, 4, 4]);
+        let o = parse(&[]);
+        assert_eq!(o.units(2), vec![1, 1]);
     }
 
     #[test]
@@ -297,7 +365,9 @@ mod tests {
         assert_eq!(s.budget.max_bound, o.budget().max_bound);
         assert_eq!(s.budget.timeout, o.budget().timeout);
         assert_eq!(s.portfolio.k, 3);
-        assert_eq!(s.portfolio.threads, 1, "entrants race serially in workers");
+        assert_eq!(s.portfolio.threads, 1, "width-1 spec races serially");
+        let wide = o.spec_with(AttackStrategy::Kc2, 3);
+        assert_eq!(wide.portfolio.threads, 3, "map_units width carries");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
 use cutelock_jobs::{Client, Limits, ServeConfig, Server};
 use cutelock_netlist::{bench, verilog, Netlist, NetlistStats};
 use cutelock_sat::equiv::EquivResult;
+use cutelock_sat::ShareCap;
 use cutelock_synth::{analyze, CellLibrary, OverheadComparison};
 
 use crate::args::Args;
@@ -40,12 +41,17 @@ COMMANDS:
   attack    Run an attack against a locked netlist
               --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana|race
               --locked FILE --oracle FILE [--timeout SECS] [--quick]
-              [--portfolio K] [--threads N]
+              [--portfolio K] [--threads N] [--share] [--share-cap N]
+              [--verbose]
               (--quick caps the budget for a smoke run; without
                --locked/--oracle it locks a built-in s27 and attacks that;
                --portfolio K races K diversified solvers per SAT query
                across N worker threads — the result is bit-identical for
-               any N; --mode race instead races whole strategies
+               any N; --share exchanges learnt clauses between entrants at
+               epoch barriers, still bit-identical for any N; --share-cap N
+               scales the exchange caps (tuning only, like --threads);
+               --verbose prints clause-sharing totals after the run;
+               --mode race instead races whole strategies
                (sat/kc2/int) with cooperative cancellation)
               exit 0: decisive verdict (key recovered, or CNS proof that
               no constant key exists); exit 2: refuted key, FAIL, or
@@ -211,7 +217,7 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_attack(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["quick"])?;
+    let args = Args::parse(argv, &["quick", "share", "verbose"])?;
     let quick = args.has("quick");
     // The built-in smoke target only stands in when *neither* netlist was
     // given; with one of the two present, the normal path reports the
@@ -278,6 +284,8 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
     };
     let k: usize = args.num("portfolio", 1)?;
     let threads: usize = args.num("threads", 1)?;
+    let share = args.has("share");
+    let share_cap: usize = args.num("share-cap", 0)?;
     // DANA clusters registers rather than producing a verdict; it is the
     // one mode outside the AttackSpec door (it attacks a bare netlist).
     if mode == "dana" {
@@ -311,9 +319,13 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
     } else {
         threads
     };
+    let mut portfolio = Portfolio::new(k, threads).with_share(share);
+    if share_cap > 0 {
+        portfolio.share_cap = ShareCap::with_limit(share_cap);
+    }
     let spec = AttackSpec::new(strategy)
         .with_budget(budget)
-        .with_portfolio(Portfolio::new(k, threads));
+        .with_portfolio(portfolio);
     let outcome = if strategy == AttackStrategy::Race {
         let race = run_race(&locked, &spec);
         for (s, report) in &race.reports {
@@ -329,6 +341,12 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         println!("{mode}: {report}");
         report.outcome
     };
+    if args.has("verbose") {
+        // The ledger totals are deterministic (DETERMINISM.md Rule 7), so
+        // verbose output stays byte-identical across --threads too.
+        let (exported, imported, dups) = spec.portfolio.share_stats();
+        println!("shared: exported={exported} imported={imported} dup_dropped={dups}");
+    }
     if AttackSpec::is_decisive(&outcome) {
         Ok(())
     } else {
@@ -506,6 +524,27 @@ mod tests {
             "2",
             "--threads",
             "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not decisive"), "got: {err}");
+    }
+
+    #[test]
+    fn attack_quick_share_flags_parse_and_run() {
+        // --share/--share-cap/--verbose thread through to the portfolio;
+        // the held lock still ends non-decisive (exit 2), proving the
+        // exchange changes no verdict.
+        let err = dispatch(&sv(&[
+            "attack",
+            "--quick",
+            "--portfolio",
+            "2",
+            "--threads",
+            "2",
+            "--share",
+            "--share-cap",
+            "16",
+            "--verbose",
         ]))
         .unwrap_err();
         assert!(err.contains("not decisive"), "got: {err}");

@@ -6,12 +6,15 @@
 //!
 //! * `SUBMIT attack --mode <m> [--circuit s27] [--scheme str|xor|ttlock|
 //!   dklock|sled] [--keys K] [--key-bits KI] [--ffs N] [--seed S]
-//!   [--timeout SECS] [--portfolio K] [--threads N]` — locks a built-in
-//!   benchmark deterministically from the given parameters, builds an
-//!   [`AttackSpec`], and runs [`run_attack`]. Batch lane. Cached by
-//!   (circuit fingerprint, strategy, budget, portfolio width) for every
-//!   deterministic strategy; `--mode race` is wall-clock nondeterministic
-//!   and is never cached.
+//!   [--timeout SECS] [--portfolio K] [--threads N] [--share on|off]
+//!   [--share-cap N]` — locks a built-in benchmark deterministically from
+//!   the given parameters, builds an [`AttackSpec`], and runs
+//!   [`run_attack`]. Batch lane. Cached by (circuit fingerprint, strategy,
+//!   budget, portfolio width, share on/off) for every deterministic
+//!   strategy; `--mode race` is wall-clock nondeterministic and is never
+//!   cached. With `--share on` the result line grows a deterministic
+//!   `shared=exported/imported/dups` field (DETERMINISM.md Rule 7), so
+//!   cached replays stay byte-identical.
 //! * `SUBMIT verify [--circuit s27] [--scheme …] [--frames N]
 //!   [--conflicts N] …` — SAT-proves the locked instance cycle-exact
 //!   against its original under its own schedule
@@ -26,7 +29,9 @@
 //! The attacker-side rule from `docs/DETERMINISM.md` shapes the cache key:
 //! worker-thread counts (`--threads`) never change a result, so they stay
 //! *out* of the key; anything that can change a verdict (strategy, budget,
-//! portfolio width, circuit, lock parameters) goes in.
+//! portfolio width, share on/off, circuit, lock parameters) goes in.
+//! `--share-cap` is a tuning knob like `--threads` — it scales the
+//! exchange without touching the verdict identity — so it stays out too.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
@@ -44,7 +49,7 @@ use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::LockedCircuit;
 use cutelock_netlist::Netlist;
 use cutelock_sat::equiv::EquivResult;
-use cutelock_sat::{Lit, SatResult, Solver, Var};
+use cutelock_sat::{Lit, SatResult, ShareCap, Solver, Var};
 
 use crate::queue::{Lane, SubmitRequest};
 
@@ -155,8 +160,11 @@ fn lock_builtin(flags: &Flags) -> Result<LockedCircuit, String> {
 }
 
 /// Folds an attack/verify spec into the circuit fingerprint — the
-/// (circuit, scheme, params, seed) cache key. `--threads` is deliberately
-/// absent: per `docs/DETERMINISM.md`, worker counts never change results.
+/// (circuit, scheme, params, seed) cache key. `--threads` and
+/// `--share-cap` are deliberately absent: per `docs/DETERMINISM.md`,
+/// worker counts never change results, and the share cap is the same kind
+/// of tuning knob. Share on/off *is* keyed: the exchange changes the
+/// search trajectory (and the result line grows a `shared=` field).
 fn attack_cache_key(locked: &LockedCircuit, spec: &AttackSpec) -> u64 {
     let mut fp = Fingerprint::new();
     fp.update_u64(locked.fingerprint());
@@ -167,6 +175,7 @@ fn attack_cache_key(locked: &LockedCircuit, spec: &AttackSpec) -> u64 {
     fp.update_u64(spec.budget.max_iterations as u64);
     fp.update_u64(spec.budget.conflict_budget.unwrap_or(u64::MAX));
     fp.update_u64(spec.portfolio.k as u64);
+    fp.update_u64(spec.portfolio.share as u64);
     fp.finish()
 }
 
@@ -181,6 +190,8 @@ const ATTACK_FLAGS: &[&str] = &[
     "timeout",
     "portfolio",
     "threads",
+    "share",
+    "share-cap",
 ];
 
 fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String> {
@@ -193,14 +204,26 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
     let timeout = Duration::from_secs(timeout).min(limits.max_timeout);
     let k: usize = flags.num("portfolio", 1)?;
     let threads: usize = flags.num("threads", 1)?;
+    // Every wire flag takes a value, so the switch is spelled `on`/`off`.
+    let share = match flags.opt("share") {
+        None => false,
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--share: expected on|off, got `{other}`")),
+    };
+    let share_cap: usize = flags.num("share-cap", 0)?;
     let budget = AttackBudget {
         timeout,
         clock: limits.clock.clone(),
         ..AttackBudget::default()
     };
+    let mut portfolio = Portfolio::new(k, threads).with_share(share);
+    if share_cap > 0 {
+        portfolio.share_cap = ShareCap::with_limit(share_cap);
+    }
     let spec = AttackSpec::new(strategy)
         .with_budget(budget)
-        .with_portfolio(Portfolio::new(k, threads));
+        .with_portfolio(portfolio);
     // The race strategy is wall-clock nondeterministic: never cache it.
     let cache_key = strategy
         .is_deterministic()
@@ -223,14 +246,22 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
             ));
         }
         // No elapsed time on the wire: the cached replay of a result must
-        // be byte-identical to the original computation.
-        Ok(format!(
+        // be byte-identical to the original computation. The sharing
+        // ledger totals are deterministic (DETERMINISM.md Rule 7), so the
+        // `shared=` field is cache-safe too — but it only appears when
+        // sharing is on, keeping share-off result lines unchanged.
+        let mut line = format!(
             "verdict={} iters={} bound={} decisive={}",
             report.outcome,
             report.iterations,
             report.bound,
             AttackSpec::is_decisive(&report.outcome)
-        ))
+        );
+        if spec.portfolio.share {
+            let (exported, imported, dups) = spec.portfolio.share_stats();
+            line.push_str(&format!(" shared={exported}/{imported}/{dups}"));
+        }
+        Ok(line)
     });
     Ok(SubmitRequest {
         label,
@@ -409,6 +440,54 @@ mod tests {
         assert_ne!(base, key("attack --mode kc2 --seed 1"));
         assert_ne!(base, key("attack --mode int --seed 2"));
         assert_ne!(base, key("attack --mode int --seed 1 --portfolio 4"));
+    }
+
+    #[test]
+    fn cache_key_includes_share_but_not_share_cap() {
+        let key = |line: &str| submit(line).unwrap().cache_key.unwrap();
+        let base = key("attack --mode int --seed 1 --portfolio 2");
+        assert_ne!(
+            base,
+            key("attack --mode int --seed 1 --portfolio 2 --share on"),
+            "the exchange changes the search trajectory, so it must be keyed"
+        );
+        assert_eq!(
+            base,
+            key("attack --mode int --seed 1 --portfolio 2 --share off"),
+            "--share off is the default"
+        );
+        let on = key("attack --mode int --seed 1 --portfolio 2 --share on");
+        assert_eq!(
+            on,
+            key("attack --mode int --seed 1 --portfolio 2 --share on --share-cap 32"),
+            "the cap is a tuning knob like --threads: out of the key"
+        );
+    }
+
+    #[test]
+    fn share_flag_must_be_on_or_off() {
+        assert!(submit("attack --mode int --share maybe")
+            .unwrap_err()
+            .contains("on|off"));
+    }
+
+    #[test]
+    fn shared_totals_ride_the_result_line_only_when_sharing() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let off = submit("attack --mode sat --scheme xor --key-bits 4 --seed 3").unwrap();
+        let line = (off.work)(&stop).unwrap();
+        assert!(!line.contains("shared="), "got: {line}");
+        let on =
+            submit("attack --mode sat --scheme xor --key-bits 4 --seed 3 --share on --portfolio 2")
+                .unwrap();
+        let line = (on.work)(&stop).unwrap();
+        assert!(line.contains(" shared="), "got: {line}");
+        // Deterministic ledger: a re-run reproduces the line byte-for-byte
+        // (this is what makes a cache replay safe).
+        let again =
+            submit("attack --mode sat --scheme xor --key-bits 4 --seed 3 --share on --portfolio 2")
+                .unwrap();
+        assert_eq!(line, (again.work)(&stop).unwrap());
     }
 
     #[test]

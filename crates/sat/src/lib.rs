@@ -25,6 +25,11 @@
 //!   variable ordering, polarities, and restart cadence per portfolio
 //!   entrant, and [`Solver::set_stop`] gives racing callers a cooperative
 //!   cancellation flag polled inside the search loop;
+//! * [`share`] — deterministic clause sharing between portfolio entrants:
+//!   [`ShareCap`]-gated learnt-clause exports ([`Solver::export_learnts`])
+//!   merged into one canonical batch ([`merge_exports`]) and re-imported
+//!   into every sibling ([`Solver::import_clauses`]) at each epoch
+//!   barrier;
 //! * [`dimacs`] — DIMACS CNF reader/writer for interoperability and tests.
 //!
 //! The full pipeline walkthrough — including where every SAT instance in
@@ -54,11 +59,13 @@ pub mod dimacs;
 pub mod encode;
 pub mod equiv;
 mod lit;
+pub mod share;
 mod solver;
 pub mod tseitin;
 
 pub use config::{PolarityMode, SolverConfig};
 pub use encode::{Binding, CircuitEncoder, Frame, MiterBuilder, PortVals};
 pub use lit::{Lit, Var};
+pub use share::{merge_exports, ShareCap, SharedClause};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::CircuitCnf;

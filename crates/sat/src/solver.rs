@@ -5,6 +5,7 @@ use std::time::Duration;
 use cutelock_core::clock::{ClockHandle, Instant};
 
 use crate::config::{splitmix64, PolarityMode, SolverConfig};
+use crate::share::{ShareCap, SharedClause};
 use crate::{Lit, Var};
 
 /// Result of a satisfiability query.
@@ -41,6 +42,14 @@ pub struct SolverStats {
     /// Literal slots reclaimed by GC (freed clauses plus root-falsified
     /// literals stripped from surviving clauses).
     pub gc_freed_literals: u64,
+    /// Learnt clauses handed out by [`Solver::export_learnts`] (portfolio
+    /// clause sharing).
+    pub shared_exported: u64,
+    /// Shared clauses accepted by [`Solver::import_clauses`].
+    pub shared_imported: u64,
+    /// Shared clauses dropped by [`Solver::import_clauses`] as duplicates
+    /// of clauses already in the database.
+    pub shared_dup_dropped: u64,
 }
 
 const UNDEF_CLAUSE: u32 = u32::MAX;
@@ -51,6 +60,10 @@ struct Clause {
     learnt: bool,
     deleted: bool,
     activity: f64,
+    /// Literal-block distance (glue): distinct decision levels in the
+    /// clause when it was learnt. 0 for problem clauses; the export
+    /// quality gate for portfolio clause sharing.
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -487,6 +500,171 @@ impl Solver {
         self.scopes.len()
     }
 
+    // ------------------------------------------------------------------
+    // Portfolio clause sharing (see crate::share and DETERMINISM.md Rule 7)
+    // ------------------------------------------------------------------
+
+    /// Exports the solver's best learnt clauses for a sibling portfolio
+    /// entrant, gated by `cap`: only live learnts of at most
+    /// [`max_len`](crate::ShareCap::max_len) literals with LBD at most
+    /// [`max_lbd`](crate::ShareCap::max_lbd) qualify, and the result is
+    /// truncated to [`max_clauses`](crate::ShareCap::max_clauses) after a
+    /// best-glue-first canonical sort.
+    ///
+    /// **Scope safety:** a clause that mentions the activation variable of
+    /// any *open* scope is never exported — its meaning is relative to
+    /// this solver's scope stack, and importing it into a sibling whose
+    /// stack has diverged (or will pop in a different order) would be
+    /// unsound. Clauses touching root-assigned variables are also skipped:
+    /// their canonical form would depend on this solver's private root
+    /// propagations.
+    ///
+    /// The output is a pure function of the solver's (deterministic)
+    /// search history — clause-database index order in, canonical order
+    /// out — so portfolio exchanges stay thread-count-independent.
+    pub fn export_learnts(&mut self, cap: ShareCap) -> Vec<SharedClause> {
+        self.cancel_until(0);
+        if !self.ok {
+            return Vec::new();
+        }
+        let open_acts: std::collections::HashSet<usize> = self
+            .scopes
+            .iter()
+            .map(|&(act, _)| act.var().index())
+            .collect();
+        let mut seen: std::collections::HashSet<Vec<Lit>> = std::collections::HashSet::new();
+        let mut out: Vec<SharedClause> = Vec::new();
+        for c in &self.clauses {
+            if !c.learnt
+                || c.deleted
+                || c.lits.len() < 2
+                || c.lits.len() > cap.max_len
+                || c.lbd > cap.max_lbd
+            {
+                continue;
+            }
+            if c.lits.iter().any(|&l| {
+                open_acts.contains(&l.var().index()) || root_value(&self.assigns, l).is_some()
+            }) {
+                continue;
+            }
+            let mut lits = c.lits.clone();
+            lits.sort_unstable();
+            if seen.insert(lits.clone()) {
+                out.push(SharedClause { lits, lbd: c.lbd });
+            }
+        }
+        out.sort_unstable_by(|a, b| {
+            (a.lbd, a.lits.len(), &a.lits).cmp(&(b.lbd, b.lits.len(), &b.lits))
+        });
+        out.truncate(cap.max_clauses);
+        self.stats.shared_exported += out.len() as u64;
+        out
+    }
+
+    /// Imports a batch of shared clauses from sibling portfolio entrants.
+    /// Each clause is normalized against the root assignment exactly like
+    /// [`add_clause`](Solver::add_clause) (satisfied clauses skipped,
+    /// root-false literals stripped), attached as a learnt clause under
+    /// its recorded LBD, and counted in
+    /// [`SolverStats::shared_imported`]; clauses already present verbatim
+    /// are dropped and counted in [`SolverStats::shared_dup_dropped`].
+    ///
+    /// After the batch the importer applies the same database-pressure
+    /// valves the search loop uses: a learnt-DB reduction when imports
+    /// push the database past the reduction threshold (feeding the
+    /// `scope_gc` garbage estimate), then a physical
+    /// [`garbage_collect`](Solver::garbage_collect) once that estimate
+    /// says a sweep is worthwhile — so repeated exchanges cannot grow the
+    /// database without bound.
+    ///
+    /// Returns `(imported, dup_dropped)` for the caller's ledger.
+    pub fn import_clauses(&mut self, batch: &[SharedClause]) -> (u64, u64) {
+        self.cancel_until(0);
+        if !self.ok || batch.is_empty() {
+            return (0, 0);
+        }
+        // One canonical snapshot of the live database for duplicate
+        // detection, built once per batch.
+        let mut existing: std::collections::HashSet<Vec<Lit>> = self
+            .clauses
+            .iter()
+            .filter(|c| !c.deleted)
+            .map(|c| {
+                let mut lits = c.lits.clone();
+                lits.sort_unstable();
+                lits
+            })
+            .collect();
+        let mut imported = 0u64;
+        let mut dup_dropped = 0u64;
+        for shared in batch {
+            if shared
+                .lits
+                .iter()
+                .any(|l| l.var().index() >= self.num_vars())
+            {
+                // Foreign variable space — only possible if a caller mixes
+                // unrelated solvers; refuse rather than corrupt.
+                continue;
+            }
+            // Normalize against the root assignment, mirroring add_clause.
+            let mut filtered = Vec::with_capacity(shared.lits.len());
+            let mut skip = false;
+            for &l in &shared.lits {
+                match self.lit_value(l) {
+                    Some(true) => {
+                        skip = true; // already satisfied at the root
+                        break;
+                    }
+                    Some(false) => continue,
+                    None => filtered.push(l),
+                }
+            }
+            if skip {
+                continue;
+            }
+            match filtered.len() {
+                0 => {
+                    // A sibling proved a root conflict we hadn't reached.
+                    self.ok = false;
+                    imported += 1;
+                    break;
+                }
+                1 => {
+                    self.unchecked_enqueue(filtered[0], UNDEF_CLAUSE);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                    imported += 1;
+                    if !self.ok {
+                        break;
+                    }
+                }
+                _ => {
+                    if existing.insert(filtered.clone()) {
+                        self.attach_clause(filtered, true, shared.lbd);
+                        imported += 1;
+                    } else {
+                        dup_dropped += 1;
+                    }
+                }
+            }
+        }
+        self.stats.shared_imported += imported;
+        self.stats.shared_dup_dropped += dup_dropped;
+        // The same DB-pressure valves the search loop applies: reduce_db
+        // marks the worst half deleted (feeding garbage_estimate), and the
+        // scope GC sweeps once the estimate crosses its threshold.
+        if self.ok && self.num_learnts > 4000 + 2 * self.clauses.len() {
+            self.reduce_db();
+        }
+        if self.ok && self.scope_gc && self.gc_worthwhile() {
+            self.garbage_collect();
+        }
+        (imported, dup_dropped)
+    }
+
     /// Adds a clause guarded by the innermost open scope (a plain permanent
     /// clause when no scope is open). Same return contract as
     /// [`add_clause`](Solver::add_clause).
@@ -553,7 +731,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(filtered, false);
+                self.attach_clause(filtered, false, 0);
                 true
             }
         }
@@ -649,7 +827,7 @@ impl Solver {
                     // these assumptions (we do not compute a core).
                     return Some(SatResult::Unsat);
                 }
-                let (learnt, bt_level) = self.analyze(confl);
+                let (learnt, bt_level, lbd) = self.analyze(confl);
                 let bt_level = bt_level.max(assumptions.len() as u32).min(
                     // Never backtrack above an assumption that the learnt
                     // clause does not involve; clamping to assumption count
@@ -657,7 +835,7 @@ impl Solver {
                     self.decision_level() - 1,
                 );
                 self.cancel_until(bt_level);
-                self.learn(learnt);
+                self.learn(learnt, lbd);
                 self.var_decay();
                 self.cla_decay();
             } else {
@@ -808,7 +986,7 @@ impl Solver {
         None
     }
 
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
         let mut path = 0u32;
         let mut p: Option<Lit> = None;
@@ -875,7 +1053,13 @@ impl Solver {
             out.swap(1, max_i);
             self.level[out[1].var().index()]
         };
-        (out, bt)
+        // LBD (glue): distinct decision levels among the clause's literals,
+        // measured before backtracking while every level is still current.
+        // The portfolio's export cap filters on it.
+        let mut levels: Vec<u32> = out.iter().map(|&l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        (out, bt, levels.len() as u32)
     }
 
     /// True when `l`'s reason clause contains only literals already in the
@@ -890,17 +1074,17 @@ impl Solver {
         })
     }
 
-    fn learn(&mut self, learnt: Vec<Lit>) {
+    fn learn(&mut self, learnt: Vec<Lit>, lbd: u32) {
         if learnt.len() == 1 {
             self.unchecked_enqueue(learnt[0], UNDEF_CLAUSE);
         } else {
             let first = learnt[0];
-            let cref = self.attach_clause(learnt, true);
+            let cref = self.attach_clause(learnt, true, lbd);
             self.unchecked_enqueue(first, cref);
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
         self.watches[lits[0].index()].push(Watcher {
@@ -916,6 +1100,7 @@ impl Solver {
             learnt,
             deleted: false,
             activity: if learnt { self.cla_inc } else { 0.0 },
+            lbd,
         });
         if learnt {
             self.num_learnts += 1;
@@ -1796,5 +1981,140 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Clause sharing (export_learnts / import_clauses)
+    // ------------------------------------------------------------------
+
+    /// A PHP(holes+1, holes) instance loaded as permanent clauses.
+    fn php_solver(holes: usize) -> Solver {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let var: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_clause(&[l1, l2]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn export_respects_caps_and_canonical_order() {
+        let mut s = php_solver(7);
+        s.set_conflict_budget(Some(400));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        // PHP learnts are long and high-glue; a widened cap still exercises
+        // the gates while leaving something to export.
+        let cap = ShareCap::with_limit(24);
+        let exported = s.export_learnts(cap);
+        assert!(!exported.is_empty(), "a budgeted PHP run learns clauses");
+        for c in &exported {
+            assert!(c.lits.len() >= 2 && c.lits.len() <= cap.max_len);
+            assert!(c.lbd <= cap.max_lbd);
+            assert!(c.lits.windows(2).all(|w| w[0] < w[1]), "lits sorted");
+        }
+        assert!(
+            exported
+                .windows(2)
+                .all(|w| (w[0].lbd, w[0].lits.len(), &w[0].lits)
+                    <= (w[1].lbd, w[1].lits.len(), &w[1].lits)),
+            "batch in canonical order"
+        );
+        assert!(exported.len() <= cap.max_clauses);
+        assert_eq!(s.stats().shared_exported, exported.len() as u64);
+    }
+
+    #[test]
+    fn export_never_leaks_open_scope_clauses() {
+        // Load the contradiction inside a scope: learnt clauses that pin
+        // the scope's activation variable must stay private.
+        let mut s = Solver::new();
+        let act_var_index = s.num_vars(); // push_scope allocates it next
+        s.push_scope();
+        let holes = 5;
+        let pigeons = holes + 1;
+        let var: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &var {
+            let cl: Vec<Lit> = p.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_scoped_clause(&cl);
+        }
+        for h in 0..holes {
+            let column: Vec<Lit> = var.iter().map(|p| Lit::negative(p[h])).collect();
+            for (i, &l1) in column.iter().enumerate() {
+                for &l2 in column.iter().skip(i + 1) {
+                    s.add_scoped_clause(&[l1, l2]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(200));
+        let _ = s.solve_scoped(&[]);
+        let exported = s.export_learnts(ShareCap {
+            max_len: 64,
+            max_lbd: 1000,
+            max_clauses: 100_000,
+        });
+        assert!(
+            exported
+                .iter()
+                .all(|c| c.lits.iter().all(|l| l.var().index() != act_var_index)),
+            "exported clause mentions an open scope's activation variable"
+        );
+    }
+
+    #[test]
+    fn import_attaches_dedups_and_stays_sound() {
+        // Learn on one entrant, import into a fresh clone of the same
+        // formula: the verdict must be unchanged and re-imports must be
+        // recognized as duplicates.
+        let mut teacher = php_solver(6);
+        teacher.set_conflict_budget(Some(600));
+        assert_eq!(teacher.solve(), SatResult::Unknown);
+        let batch = teacher.export_learnts(ShareCap::default());
+        assert!(!batch.is_empty());
+
+        let mut student = php_solver(6);
+        let (imported, dups) = student.import_clauses(&batch);
+        assert_eq!(imported + dups, batch.len() as u64);
+        assert!(imported > 0, "fresh student should accept shared clauses");
+        let (again_imported, again_dups) = student.import_clauses(&batch);
+        assert_eq!(again_imported, 0, "second import is all duplicates");
+        assert!(again_dups > 0);
+        let st = student.stats();
+        assert_eq!(st.shared_imported, imported);
+        assert_eq!(st.shared_dup_dropped, dups + again_dups);
+        // Shared clauses from the same formula are implied: PHP stays
+        // unsatisfiable.
+        student.set_conflict_budget(None);
+        assert_eq!(student.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn import_unit_propagates_at_the_root() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::negative(a), Lit::positive(b)]);
+        let unit = SharedClause {
+            lits: vec![Lit::positive(a)],
+            lbd: 1,
+        };
+        let (imported, _) = s.import_clauses(&[unit]);
+        assert_eq!(imported, 1);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(true));
     }
 }

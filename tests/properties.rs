@@ -322,3 +322,93 @@ mod clock_properties {
         }
     }
 }
+
+/// Clause-exchange merge properties: the canonical batch built at a
+/// portfolio epoch barrier must not depend on the order exports arrive in
+/// (DETERMINISM.md Rule 7) — index-order collection is a convention, not a
+/// load-bearing assumption.
+mod share_properties {
+    use cute_lock::sat::{merge_exports, Lit, ShareCap, SharedClause, Var};
+    use proptest::prelude::*;
+
+    /// Deterministically expands a seed into a small set of export lists
+    /// (one per pretend entrant), with deliberate duplicates across lists.
+    fn exports_from(seed: u64, groups: usize) -> Vec<Vec<SharedClause>> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..groups)
+            .map(|_| {
+                let n = (next() % 6) as usize;
+                (0..n)
+                    .map(|_| {
+                        let len = 2 + (next() % 4) as usize;
+                        let mut lits: Vec<Lit> = (0..len)
+                            .map(|_| {
+                                let v = Var::from_index((next() % 12) as usize);
+                                if next() % 2 == 0 {
+                                    Lit::positive(v)
+                                } else {
+                                    Lit::negative(v)
+                                }
+                            })
+                            .collect();
+                        lits.sort_unstable();
+                        lits.dedup();
+                        SharedClause {
+                            lits,
+                            lbd: 1 + (next() % 5) as u32,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any permutation of the export lists — and any order within each
+        /// list — merges to the same canonical batch.
+        #[test]
+        fn merge_is_permutation_invariant(
+            seed in 0u64..100_000,
+            groups in 1usize..6,
+            rot in 0usize..6,
+            rev in 0usize..2,
+        ) {
+            let cap = ShareCap::default();
+            let exports = exports_from(seed, groups);
+            let baseline = merge_exports(&exports, cap);
+            let mut shuffled = exports;
+            let n = shuffled.len().max(1);
+            shuffled.rotate_left(rot % n);
+            if rev == 1 {
+                shuffled.reverse();
+                for group in &mut shuffled {
+                    group.reverse();
+                }
+            }
+            prop_assert_eq!(merge_exports(&shuffled, cap), baseline);
+        }
+
+        /// The batch is canonical: dedup'd by literals, sorted by
+        /// (glue, length, literals), and capped at `max_clauses`.
+        #[test]
+        fn merge_output_is_canonical(seed in 0u64..100_000, groups in 1usize..6) {
+            let cap = ShareCap::default();
+            let batch = merge_exports(&exports_from(seed, groups), cap);
+            prop_assert!(batch.len() <= cap.max_clauses);
+            for w in batch.windows(2) {
+                let a = (w[0].lbd, w[0].lits.len(), &w[0].lits);
+                let b = (w[1].lbd, w[1].lits.len(), &w[1].lits);
+                prop_assert!(a <= b, "batch not in canonical order");
+                prop_assert!(w[0].lits != w[1].lits, "duplicate survived the merge");
+            }
+        }
+    }
+}
