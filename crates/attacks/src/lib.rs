@@ -89,4 +89,4 @@ pub use outcome::{AttackBudget, AttackOutcome, AttackReport};
 pub use portfolio::{
     portfolio_attack, portfolio_attack_with_stop, Portfolio, RaceReport, Strategy,
 };
-pub use spec::{run_attack, run_race, AttackSpec, AttackStrategy};
+pub use spec::{run_attack, run_race, simplify_locked, AttackSpec, AttackStrategy};

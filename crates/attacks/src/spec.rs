@@ -133,15 +133,28 @@ pub struct AttackSpec {
     /// reinterpreted: `threads` is the strategy-race width and `k` each
     /// strategy's inner query-race width.
     pub portfolio: Portfolio,
+    /// Run the netlist simplification engine
+    /// ([`cutelock_netlist::simplify()`], state-preserving configuration)
+    /// over both the locked netlist and the oracle before attacking.
+    ///
+    /// Defaults **off** so the legacy wrappers and the frozen golden pins
+    /// stay bit-identical; the CLI and the table bins flip it on by
+    /// default (escape hatch: `--no-simplify`). Ignored by
+    /// [`AttackStrategy::Fall`] (its comparator analysis reads the locked
+    /// structure as-built) and [`AttackStrategy::Race`] (already exempt
+    /// from determinism pins; its entrants rebuild their own views).
+    pub simplify: bool,
 }
 
 impl AttackSpec {
-    /// A spec with the default budget and no portfolio racing.
+    /// A spec with the default budget, no portfolio racing, and no
+    /// simplification.
     pub fn new(strategy: AttackStrategy) -> Self {
         Self {
             strategy,
             budget: AttackBudget::default(),
             portfolio: Portfolio::single(),
+            simplify: false,
         }
     }
 
@@ -154,6 +167,12 @@ impl AttackSpec {
     /// Replaces the portfolio.
     pub fn with_portfolio(mut self, portfolio: Portfolio) -> Self {
         self.portfolio = portfolio;
+        self
+    }
+
+    /// Sets the simplification switch.
+    pub fn with_simplify(mut self, simplify: bool) -> Self {
+        self.simplify = simplify;
         self
     }
 
@@ -182,6 +201,14 @@ impl AttackSpec {
 ///   strategy's report — see [`run_race`] for the full per-strategy
 ///   breakdown.
 pub fn run_attack(locked: &LockedCircuit, spec: &AttackSpec) -> AttackReport {
+    let prepared;
+    let locked =
+        if spec.simplify && !matches!(spec.strategy, AttackStrategy::Fall | AttackStrategy::Race) {
+            prepared = simplify_locked(locked);
+            &prepared
+        } else {
+            locked
+        };
     let (budget, p) = (&spec.budget, &spec.portfolio);
     match spec.strategy {
         AttackStrategy::ScanSat => scan_sat_attack_with(locked, budget, p),
@@ -226,6 +253,35 @@ pub fn run_race(locked: &LockedCircuit, spec: &AttackSpec) -> RaceReport {
     )
 }
 
+/// Returns a copy of `locked` with both netlists run through the
+/// state-preserving netlist simplifier
+/// ([`cutelock_netlist::simplify::SimplifyConfig::preserving_state`]) —
+/// what [`run_attack`] does when [`AttackSpec::simplify`] is set, exposed
+/// for the CLI `verify`/`certify` paths and the bench harness.
+///
+/// State preservation keeps flip-flop count, order, instance names and
+/// q-net names, so [`LockedCircuit::counter_ffs`] / `locked_ffs` indices
+/// and the scan model's name-based FF mapping stay valid. Schedule,
+/// scheme, and FF index lists are carried over verbatim. A simplifier
+/// error (a bug on a valid netlist) falls back to the unsimplified copy
+/// rather than failing the attack.
+pub fn simplify_locked(locked: &LockedCircuit) -> LockedCircuit {
+    let cfg = cutelock_netlist::simplify::SimplifyConfig::preserving_state();
+    let run = |nl: &cutelock_netlist::Netlist| match cutelock_netlist::simplify::simplify(nl, &cfg)
+    {
+        Ok((out, _)) => out,
+        Err(_) => nl.clone(),
+    };
+    LockedCircuit {
+        netlist: run(&locked.netlist),
+        original: run(&locked.original),
+        schedule: locked.schedule.clone(),
+        scheme: locked.scheme,
+        counter_ffs: locked.counter_ffs.clone(),
+        locked_ffs: locked.locked_ffs.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,9 +323,54 @@ mod tests {
                 timeout: std::time::Duration::from_secs(5),
                 ..AttackBudget::default()
             })
-            .with_portfolio(Portfolio::new(4, 2));
+            .with_portfolio(Portfolio::new(4, 2))
+            .with_simplify(true);
         assert_eq!(spec.strategy, AttackStrategy::Int);
         assert_eq!(spec.budget.timeout.as_secs(), 5);
         assert_eq!(spec.portfolio.k, 4);
+        assert!(spec.simplify);
+    }
+
+    #[test]
+    fn simplify_defaults_off_for_golden_stability() {
+        // The frozen golden pins rely on plain specs encoding the raw
+        // netlists; simplification is strictly opt-in at this layer.
+        for s in AttackStrategy::ALL {
+            assert!(!AttackSpec::new(s).simplify, "{s}");
+        }
+    }
+
+    #[test]
+    fn simplify_locked_preserves_the_attack_interface() {
+        use cutelock_circuits::s27::s27;
+        use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
+        let lc = CuteLockStr::new(CuteLockStrConfig {
+            keys: 4,
+            key_bits: 2,
+            locked_ffs: 1,
+            seed: 6,
+            schedule: None,
+            ..Default::default()
+        })
+        .lock(&s27())
+        .expect("locks");
+        let simplified = simplify_locked(&lc);
+        // Interface invariants the attacks depend on.
+        assert_eq!(simplified.netlist.input_count(), lc.netlist.input_count());
+        assert_eq!(simplified.netlist.output_count(), lc.netlist.output_count());
+        assert_eq!(simplified.netlist.dff_count(), lc.netlist.dff_count());
+        assert_eq!(simplified.original.dff_count(), lc.original.dff_count());
+        assert_eq!(simplified.key_input_ids().len(), lc.key_input_ids().len());
+        assert_eq!(simplified.counter_ffs, lc.counter_ffs);
+        assert_eq!(simplified.locked_ffs, lc.locked_ffs);
+        // FF q-net names survive (the scan model maps state by name).
+        for (a, b) in lc.netlist.dffs().iter().zip(simplified.netlist.dffs()) {
+            assert_eq!(
+                lc.netlist.net_name(a.q()),
+                simplified.netlist.net_name(b.q())
+            );
+        }
+        // And the simplified lock still verifies under the correct key.
+        assert!(simplified.verify_equivalence(32, 7).unwrap());
     }
 }

@@ -342,6 +342,71 @@ fn golden_spec_door_is_transparent() {
     }
 }
 
+/// Simplification-off bit-identity: a plain [`AttackSpec`] leaves the
+/// `simplify` switch off, so every frozen string above already pins the
+/// raw-netlist path — this test makes the off-switch explicit by running
+/// one spec with `with_simplify(false)` spelled out and demanding the
+/// exact frozen golden.
+#[test]
+fn golden_simplify_off_is_bit_identical() {
+    let spec = AttackSpec::new(AttackStrategy::ScanSat)
+        .with_budget(budget())
+        .with_simplify(false);
+    check(
+        "simplify-off/sat/xor",
+        "Equal(0010) iters=2",
+        golden(&run_attack(&xor_lock(), &spec)),
+    );
+    check(
+        "simplify-off/sat/cute",
+        "x..x(11) iters=2",
+        golden(&run_attack(&cute_lock(), &spec)),
+    );
+}
+
+/// Simplification-on verdict identity: with the netlist simplifier in
+/// front of the encoder, every deterministic oracle-guided strategy must
+/// reach the same *verdict* as the raw path — the same exact key on the
+/// breakable XOR lock (the key is unique) and the same outcome label on
+/// the resilient Cute-Lock (the surviving wrong-key bits may legitimately
+/// differ, as may iteration counts: simplification changes which DIPs the
+/// solver happens to find first). FALL is exempt by design — its
+/// structural comparator analysis reads the locked netlist as-built.
+#[test]
+fn golden_simplify_on_is_verdict_identical() {
+    let strategies = [
+        AttackStrategy::ScanSat,
+        AttackStrategy::Bbo,
+        AttackStrategy::Int,
+        AttackStrategy::Kc2,
+        AttackStrategy::Rane,
+        AttackStrategy::AppSat,
+        AttackStrategy::DoubleDip,
+    ];
+    for strategy in strategies {
+        let spec = AttackSpec::new(strategy)
+            .with_budget(budget())
+            .with_simplify(true);
+        let on_xor = run_attack(&xor_lock(), &spec);
+        match &on_xor.outcome {
+            AttackOutcome::KeyFound(k) => {
+                assert_eq!(format!("{k}"), "0010", "simplify-on/{strategy}/xor key")
+            }
+            other => panic!("simplify-on/{strategy}/xor: expected KeyFound, got {other:?}"),
+        }
+        let off = run_attack(
+            &cute_lock(),
+            &AttackSpec::new(strategy).with_budget(budget()),
+        );
+        let on = run_attack(&cute_lock(), &spec);
+        assert_eq!(
+            on.outcome.label(),
+            off.outcome.label(),
+            "simplify-on/{strategy}/cute verdict"
+        );
+    }
+}
+
 #[test]
 fn golden_fall() {
     let tt = TtLock::new(4, 3).lock(&s27()).expect("locks");

@@ -91,6 +91,13 @@ pub struct Options {
     /// [`ShareCap::with_limit`] (`None` = [`ShareCap::default`]). A tuning
     /// knob like `--threads`, never part of a result's identity.
     pub share_cap: Option<usize>,
+    /// Run the netlist simplification engine in front of every encoding
+    /// (default **on** at the bins, like the CLI; `--no-simplify` turns it
+    /// off, `--simplify` spells the default explicitly). Simplification is
+    /// itself deterministic, so it never breaks the `--threads`
+    /// determinism diff — but it can change which wrong key survives a
+    /// capped search, so CI diffs on-vs-off at the verdict level only.
+    pub simplify: bool,
 }
 
 impl Default for Options {
@@ -106,6 +113,7 @@ impl Default for Options {
             portfolio_k: 1,
             share: false,
             share_cap: None,
+            simplify: true,
         }
     }
 }
@@ -154,6 +162,8 @@ impl Options {
                     opt.portfolio_k = k.max(1);
                 }
                 "--share" => opt.share = true,
+                "--simplify" => opt.simplify = true,
+                "--no-simplify" => opt.simplify = false,
                 "--share-cap" => {
                     let n: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--share-cap needs a limit\n{usage}");
@@ -225,6 +235,7 @@ impl Options {
         AttackSpec::new(strategy)
             .with_budget(self.budget())
             .with_portfolio(self.portfolio_with(width))
+            .with_simplify(self.simplify)
     }
 
     /// [`Options::spec_with`] at width 1.
@@ -347,6 +358,17 @@ mod tests {
         assert_eq!(o.portfolio().share_cap, ShareCap::default());
         let o = parse(&["--share", "--share-cap", "4"]);
         assert_eq!(o.portfolio().share_cap, ShareCap::with_limit(4));
+    }
+
+    #[test]
+    fn simplify_flags_flow_into_the_spec() {
+        let o = parse(&[]);
+        assert!(o.simplify, "table bins simplify by default");
+        assert!(o.spec(AttackStrategy::Int).simplify);
+        let o = parse(&["--no-simplify"]);
+        assert!(!o.spec(AttackStrategy::Int).simplify);
+        let o = parse(&["--no-simplify", "--simplify"]);
+        assert!(o.simplify, "last flag wins");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use cutelock_core::clock::VirtualClock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue, LockedCircuit};
 use cutelock_jobs::{Client, Limits, ServeConfig, Server};
-use cutelock_netlist::{bench, verilog, Netlist, NetlistStats};
+use cutelock_netlist::{bench, simplify, verilog, Netlist, NetlistStats, SimplifyConfig};
 use cutelock_sat::equiv::EquivResult;
 use cutelock_sat::ShareCap;
 use cutelock_synth::{analyze, CellLibrary, OverheadComparison};
@@ -30,7 +30,8 @@ COMMANDS:
   bench     Emit a built-in benchmark circuit as .bench
               --suite iscas89|itc99   --name s27|b01|…   [--out FILE]
               (--name list prints available names)
-  stats     Print size statistics of a netlist
+  stats     Print size statistics of a netlist, plus the reduction the
+            simplify engine would achieve on it
               --in FILE
   lock      Lock a .bench netlist
               --scheme str|xor|ttlock|dklock|sled  --in FILE --out FILE
@@ -42,7 +43,7 @@ COMMANDS:
               --mode sat|bbo|int|kc2|rane|appsat|double-dip|fall|dana|race
               --locked FILE --oracle FILE [--timeout SECS] [--quick]
               [--portfolio K] [--threads N] [--share] [--share-cap N]
-              [--verbose]
+              [--no-simplify] [--verbose]
               (--quick caps the budget for a smoke run; without
                --locked/--oracle it locks a built-in s27 and attacks that;
                --portfolio K races K diversified solvers per SAT query
@@ -50,6 +51,9 @@ COMMANDS:
                any N; --share exchanges learnt clauses between entrants at
                epoch barriers, still bit-identical for any N; --share-cap N
                scales the exchange caps (tuning only, like --threads);
+               netlists are simplified (strash/const-fold/COI) before
+               encoding; --no-simplify attacks them as-read — fall and
+               race skip simplification either way;
                --verbose prints clause-sharing totals after the run;
                --mode race instead races whole strategies
                (sat/kc2/int) with cooperative cancellation)
@@ -60,12 +64,14 @@ COMMANDS:
   verify    Prove a locked netlist cycle-exact against its original under
             a key schedule (SAT, all input sequences up to the bound)
               --locked FILE --original FILE --keys FILE
-              [--frames N (default 8)] [--conflicts N]
+              [--frames N (default 8)] [--conflicts N] [--no-simplify]
               exit 0: equivalent; exit 2: corrupting sequence found
   overhead  45nm-model overhead of locked vs original
               --original FILE --locked FILE
   convert   Convert formats
-              --in FILE --to verilog|bench [--out FILE]
+              --in FILE --to verilog|bench [--out FILE] [--simplify]
+              (--simplify runs the netlist simplification engine first
+               and reports the reduction on stderr)
   serve     Run the attack job daemon (TCP line protocol)
               [--addr HOST:PORT (default 127.0.0.1:0 — port 0 picks an
                ephemeral port)] [--workers N (default 2)]
@@ -151,6 +157,10 @@ fn cmd_stats(argv: &[String]) -> Result<(), String> {
     for (kind, count) in &st.per_kind {
         println!("  {kind:<6} {count}");
     }
+    // What the simplify engine would remove — reported here so reductions
+    // are visible without running an attack.
+    let (_, sst) = simplify(&nl, &SimplifyConfig::default()).map_err(|e| e.to_string())?;
+    println!("simplify: {sst}");
     Ok(())
 }
 
@@ -217,7 +227,7 @@ fn cmd_lock(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_attack(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["quick", "share", "verbose"])?;
+    let args = Args::parse(argv, &["quick", "share", "no-simplify", "verbose"])?;
     let quick = args.has("quick");
     // The built-in smoke target only stands in when *neither* netlist was
     // given; with one of the two present, the normal path reports the
@@ -323,9 +333,13 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
     if share_cap > 0 {
         portfolio.share_cap = ShareCap::with_limit(share_cap);
     }
+    // Simplification defaults ON at the CLI (the spec layer defaults it
+    // off to keep library callers and golden pins raw); --no-simplify is
+    // the escape hatch.
     let spec = AttackSpec::new(strategy)
         .with_budget(budget)
-        .with_portfolio(portfolio);
+        .with_portfolio(portfolio)
+        .with_simplify(!args.has("no-simplify"));
     let outcome = if strategy == AttackStrategy::Race {
         let race = run_race(&locked, &spec);
         for (s, report) in &race.reports {
@@ -409,7 +423,7 @@ fn cmd_client(argv: &[String]) -> Result<(), String> {
 /// the `certify` module provides as a library, exposed as exit codes for
 /// scripts and CI (0 = equivalent, 2 = corrupting sequence / inconclusive).
 fn cmd_verify(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["no-simplify"])?;
     let locked_nl = read_netlist(args.req("locked")?)?;
     let original = read_netlist(args.req("original")?)?;
     let kpath = args.req("keys")?;
@@ -427,7 +441,7 @@ fn cmd_verify(argv: &[String]) -> Result<(), String> {
             schedule.key_bits()
         ));
     }
-    let locked = LockedCircuit {
+    let mut locked = LockedCircuit {
         netlist: locked_nl,
         original,
         schedule,
@@ -435,6 +449,12 @@ fn cmd_verify(argv: &[String]) -> Result<(), String> {
         counter_ffs: Vec::new(),
         locked_ffs: Vec::new(),
     };
+    // State-preserving simplification shrinks the certification miter
+    // without touching the interface the schedule drives; --no-simplify
+    // certifies the netlists exactly as read.
+    if !args.has("no-simplify") {
+        locked = cutelock_attacks::simplify_locked(&locked);
+    }
     match prove_locked_equivalence(&locked, frames, Some(conflicts)).map_err(|e| e.to_string())? {
         EquivResult::Equivalent => {
             println!(
@@ -482,8 +502,13 @@ fn cmd_overhead(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_convert(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let nl = read_netlist(args.req("in")?)?;
+    let args = Args::parse(argv, &["simplify"])?;
+    let mut nl = read_netlist(args.req("in")?)?;
+    if args.has("simplify") {
+        let (out, sst) = simplify(&nl, &SimplifyConfig::default()).map_err(|e| e.to_string())?;
+        eprintln!("simplify: {sst}");
+        nl = out;
+    }
     let to = args.req("to")?;
     let text = match to {
         "verilog" => verilog::write(&nl),
@@ -583,6 +608,53 @@ mod tests {
             op.to_str().unwrap(),
         ]))
         .unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attack_no_simplify_flag_parses_and_runs() {
+        // --no-simplify attacks the raw netlist; the held built-in lock
+        // still ends non-decisive either way.
+        let err = dispatch(&sv(&["attack", "--quick", "--no-simplify"])).unwrap_err();
+        assert!(err.contains("not decisive"), "got: {err}");
+    }
+
+    #[test]
+    fn convert_simplify_shrinks_the_output() {
+        let dir =
+            std::env::temp_dir().join(format!("cutelock-cli-simplify-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let ip = dir.join("in.bench");
+        let raw = dir.join("raw.bench");
+        let simp = dir.join("simp.bench");
+        fs::write(
+            &ip,
+            "INPUT(a)\nOUTPUT(y)\nb1 = BUF(a)\nb2 = BUF(b1)\ndead = NOT(b2)\ny = NOT(b2)\n",
+        )
+        .unwrap();
+        for (flags, out) in [(&[][..], &raw), (&["--simplify"][..], &simp)] {
+            let mut argv = vec!["convert", "--in", ip.to_str().unwrap(), "--to", "bench"];
+            argv.extend_from_slice(flags);
+            argv.extend_from_slice(&["--out", out.to_str().unwrap()]);
+            dispatch(&sv(&argv)).unwrap();
+        }
+        let raw_nl = read_netlist(raw.to_str().unwrap()).unwrap();
+        let simp_nl = read_netlist(simp.to_str().unwrap()).unwrap();
+        assert_eq!(raw_nl.gate_count(), 4);
+        assert_eq!(simp_nl.gate_count(), 1, "{}", bench::write(&simp_nl));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_reports_a_simplify_line() {
+        // `cutelock stats` must run cleanly on a netlist with foldable
+        // structure (the simplify what-if line is computed, not printed
+        // anywhere we can capture here — success is the contract).
+        let dir = std::env::temp_dir().join(format!("cutelock-cli-stats-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let ip = dir.join("in.bench");
+        fs::write(&ip, "INPUT(a)\nOUTPUT(y)\nz = CONST1()\ny = AND(a, z)\n").unwrap();
+        dispatch(&sv(&["stats", "--in", ip.to_str().unwrap()])).unwrap();
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,14 +7,18 @@
 //! * `SUBMIT attack --mode <m> [--circuit s27] [--scheme str|xor|ttlock|
 //!   dklock|sled] [--keys K] [--key-bits KI] [--ffs N] [--seed S]
 //!   [--timeout SECS] [--portfolio K] [--threads N] [--share on|off]
-//!   [--share-cap N]` — locks a built-in benchmark deterministically from
-//!   the given parameters, builds an [`AttackSpec`], and runs
-//!   [`run_attack`]. Batch lane. Cached by (circuit fingerprint, strategy,
-//!   budget, portfolio width, share on/off) for every deterministic
-//!   strategy; `--mode race` is wall-clock nondeterministic and is never
-//!   cached. With `--share on` the result line grows a deterministic
+//!   [--share-cap N] [--simplify on|off]` — locks a built-in benchmark
+//!   deterministically from the given parameters, builds an
+//!   [`AttackSpec`], and runs [`run_attack`]. Batch lane. Cached by
+//!   (circuit fingerprint, strategy, budget, portfolio width, share
+//!   on/off, simplify on/off) for every deterministic strategy; `--mode
+//!   race` is wall-clock nondeterministic and is never cached. With
+//!   `--share on` the result line grows a deterministic
 //!   `shared=exported/imported/dups` field (DETERMINISM.md Rule 7), so
-//!   cached replays stay byte-identical.
+//!   cached replays stay byte-identical. `--simplify` (default `on`) runs
+//!   the netlist simplification engine in front of the encoder; it can
+//!   change which wrong key survives a capped search, so it is keyed like
+//!   `--share`.
 //! * `SUBMIT verify [--circuit s27] [--scheme …] [--frames N]
 //!   [--conflicts N] …` — SAT-proves the locked instance cycle-exact
 //!   against its original under its own schedule
@@ -176,6 +180,7 @@ fn attack_cache_key(locked: &LockedCircuit, spec: &AttackSpec) -> u64 {
     fp.update_u64(spec.budget.conflict_budget.unwrap_or(u64::MAX));
     fp.update_u64(spec.portfolio.k as u64);
     fp.update_u64(spec.portfolio.share as u64);
+    fp.update_u64(spec.simplify as u64);
     fp.finish()
 }
 
@@ -192,6 +197,7 @@ const ATTACK_FLAGS: &[&str] = &[
     "threads",
     "share",
     "share-cap",
+    "simplify",
 ];
 
 fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String> {
@@ -212,6 +218,13 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
         Some(other) => return Err(format!("--share: expected on|off, got `{other}`")),
     };
     let share_cap: usize = flags.num("share-cap", 0)?;
+    // Simplification defaults on (matching the CLI); it changes the search
+    // trajectory, so the switch joins the cache key below.
+    let simplify = match flags.opt("simplify") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--simplify: expected on|off, got `{other}`")),
+    };
     let budget = AttackBudget {
         timeout,
         clock: limits.clock.clone(),
@@ -223,7 +236,8 @@ fn parse_attack(flags: &Flags, limits: &Limits) -> Result<SubmitRequest, String>
     }
     let spec = AttackSpec::new(strategy)
         .with_budget(budget)
-        .with_portfolio(portfolio);
+        .with_portfolio(portfolio)
+        .with_simplify(simplify);
     // The race strategy is wall-clock nondeterministic: never cache it.
     let cache_key = strategy
         .is_deterministic()
@@ -462,6 +476,42 @@ mod tests {
             key("attack --mode int --seed 1 --portfolio 2 --share on --share-cap 32"),
             "the cap is a tuning knob like --threads: out of the key"
         );
+    }
+
+    #[test]
+    fn cache_key_includes_simplify() {
+        let key = |line: &str| submit(line).unwrap().cache_key.unwrap();
+        let base = key("attack --mode int --seed 1");
+        assert_eq!(
+            base,
+            key("attack --mode int --seed 1 --simplify on"),
+            "--simplify on is the default"
+        );
+        assert_ne!(
+            base,
+            key("attack --mode int --seed 1 --simplify off"),
+            "simplification changes the search trajectory, so it must be keyed"
+        );
+    }
+
+    #[test]
+    fn simplify_flag_must_be_on_or_off() {
+        assert!(submit("attack --mode int --simplify maybe")
+            .unwrap_err()
+            .contains("on|off"));
+    }
+
+    #[test]
+    fn simplified_attacks_run_and_verdict_matches_raw() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let on = submit("attack --mode sat --scheme xor --key-bits 4 --seed 3").unwrap();
+        let on_line = (on.work)(&stop).unwrap();
+        assert!(on_line.contains("verdict=Equal"), "got: {on_line}");
+        let off =
+            submit("attack --mode sat --scheme xor --key-bits 4 --seed 3 --simplify off").unwrap();
+        let off_line = (off.work)(&stop).unwrap();
+        // Same unique key either way; iteration counts may differ.
+        assert!(off_line.contains("verdict=Equal"), "got: {off_line}");
     }
 
     #[test]

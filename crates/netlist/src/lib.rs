@@ -10,6 +10,8 @@
 //! * [`verilog`] — a structural Verilog writer.
 //! * [`topo`] — topological ordering, levelization and cycle detection.
 //! * [`cone`] — fan-in/fan-out cone extraction.
+//! * [`mod@simplify`] — structural hashing, constant propagation and
+//!   cone-of-influence trimming in front of every CNF encoding.
 //! * [`unroll`] — time-frame expansion (for bounded model checking) and the
 //!   scan-chain "combinational view" used by oracle-guided SAT attacks.
 //!
@@ -45,6 +47,7 @@ pub mod cone;
 mod error;
 mod kind;
 mod netlist;
+pub mod simplify;
 pub mod stats;
 pub mod topo;
 pub mod transform;
@@ -54,6 +57,7 @@ pub mod verilog;
 pub use error::NetlistError;
 pub use kind::GateKind;
 pub use netlist::{Dff, Driver, Gate, Net, NetId, Netlist};
+pub use simplify::{simplify, SimplifyConfig, SimplifyStats};
 pub use stats::NetlistStats;
 
 /// Prefix that marks a primary input as a key input.

@@ -5,348 +5,58 @@
 //! re-routing). Overhead comparisons are only fair on swept netlists —
 //! synthesis tools like Genus do this implicitly, so the overhead model
 //! applies [`cleanup`] before counting cells.
+//!
+//! Since the [`mod@crate::simplify`] engine landed, `cleanup` is a thin
+//! wrapper over it: one simplification code path serves both the
+//! synthesis overhead model and the encoding front end. `cleanup` runs
+//! the state-preserving configuration
+//! ([`crate::simplify::SimplifyConfig::preserving_state`]): flip-flops
+//! are state, and sweeping them would change observable timing behavior —
+//! a synthesis decision this conservative cleanup does not take.
 
-use std::collections::HashMap;
-
-use crate::{Driver, GateKind, NetId, Netlist, NetlistError};
+use crate::simplify::{simplify, SimplifyConfig};
+use crate::{Netlist, NetlistError};
 
 /// Statistics of a [`cleanup`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CleanupStats {
-    /// Gates removed because their output was a derivable constant or a
-    /// pass-through that got forwarded.
+    /// Gates removed because their output was a derivable constant, a
+    /// pass-through that got forwarded, or a structural duplicate that
+    /// got merged.
     pub folded: usize,
     /// Gates removed because nothing observable consumed them.
     pub swept: usize,
 }
 
-/// Rebuilds `nl` with constants propagated, buffers forwarded, and
-/// unobservable gates removed.
+/// Rebuilds `nl` with constants propagated, buffers forwarded, duplicate
+/// gates merged, and unobservable gates removed.
 ///
 /// The result computes the same function on the same interface: primary
-/// inputs, outputs and flip-flops are all preserved (flip-flops are state;
-/// sweeping them would change observable timing behavior — that is a
-/// synthesis decision this conservative cleanup does not take).
+/// inputs, outputs and flip-flops are all preserved. This delegates to
+/// [`crate::simplify::simplify`] with the state-preserving configuration;
+/// callers that can afford to drop unobservable flip-flops should call
+/// the engine directly with [`SimplifyConfig::default`].
 ///
 /// # Errors
 ///
 /// Propagates reconstruction failures (a bug if they happen on a valid
 /// netlist).
 pub fn cleanup(nl: &Netlist) -> Result<(Netlist, CleanupStats), NetlistError> {
-    let order = crate::topo::gate_order(nl)?;
-    // Forward pass: constant value per net (None = non-constant), and a
-    // forwarding map for buffers/constant-collapsed gates.
-    let mut constant: Vec<Option<bool>> = vec![None; nl.net_count()];
-    let mut forward: Vec<NetId> = (0..nl.net_count() as u32).map(NetId).collect();
-    let resolve = |forward: &[NetId], mut id: NetId| -> NetId {
-        while forward[id.index()] != id {
-            id = forward[id.index()];
-        }
-        id
-    };
-    let mut folded = 0usize;
-    for &g in &order {
-        let gate = &nl.gates()[g];
-        let ins: Vec<NetId> = gate
-            .inputs()
-            .iter()
-            .map(|&i| resolve(&forward, i))
-            .collect();
-        let vals: Vec<Option<bool>> = ins.iter().map(|&i| constant[i.index()]).collect();
-        let out = gate.output().index();
-        match gate.kind() {
-            GateKind::Const0 => constant[out] = Some(false),
-            GateKind::Const1 => constant[out] = Some(true),
-            GateKind::Buf => {
-                if let Some(v) = vals[0] {
-                    constant[out] = Some(v);
-                } else {
-                    forward[out] = ins[0];
-                }
-                folded += 1;
-            }
-            GateKind::Not => {
-                if let Some(v) = vals[0] {
-                    constant[out] = Some(!v);
-                    folded += 1;
-                }
-            }
-            GateKind::And | GateKind::Nand => {
-                let inv = gate.kind() == GateKind::Nand;
-                if vals.contains(&Some(false)) {
-                    constant[out] = Some(inv);
-                    folded += 1;
-                } else if vals.iter().all(|v| *v == Some(true)) {
-                    constant[out] = Some(!inv);
-                    folded += 1;
-                }
-            }
-            GateKind::Or | GateKind::Nor => {
-                let inv = gate.kind() == GateKind::Nor;
-                if vals.contains(&Some(true)) {
-                    constant[out] = Some(!inv);
-                    folded += 1;
-                } else if vals.iter().all(|v| *v == Some(false)) {
-                    constant[out] = Some(inv);
-                    folded += 1;
-                }
-            }
-            GateKind::Xor | GateKind::Xnor => {
-                if vals.iter().all(Option::is_some) {
-                    let parity = vals.iter().fold(false, |acc, v| acc ^ v.unwrap_or(false));
-                    constant[out] = Some(if gate.kind() == GateKind::Xor {
-                        parity
-                    } else {
-                        !parity
-                    });
-                    folded += 1;
-                }
-            }
-            GateKind::Mux => {
-                match vals[0] {
-                    Some(false) => {
-                        if let Some(v) = vals[1] {
-                            constant[out] = Some(v);
-                        } else {
-                            forward[out] = ins[1];
-                        }
-                        folded += 1;
-                    }
-                    Some(true) => {
-                        if let Some(v) = vals[2] {
-                            constant[out] = Some(v);
-                        } else {
-                            forward[out] = ins[2];
-                        }
-                        folded += 1;
-                    }
-                    None => {
-                        // MUX(s, a, a) = a.
-                        if ins[1] == ins[2] {
-                            forward[out] = ins[1];
-                            folded += 1;
-                        } else if vals[1].is_some() && vals[1] == vals[2] {
-                            constant[out] = vals[1];
-                            folded += 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // Mark live gates: reachable (through resolved inputs) from outputs and
-    // flip-flop data inputs.
-    let mut live = vec![false; nl.gates().len()];
-    let mut stack: Vec<NetId> = nl
-        .outputs()
-        .iter()
-        .chain(nl.dffs().iter().map(|ff| &ff.d))
-        .map(|&id| resolve(&forward, id))
-        .collect();
-    while let Some(id) = stack.pop() {
-        let id = resolve(&forward, id);
-        if constant[id.index()].is_some() {
-            continue;
-        }
-        if let Driver::Gate(g) = nl.net(id).driver() {
-            if !live[g] {
-                live[g] = true;
-                for &i in nl.gates()[g].inputs() {
-                    stack.push(resolve(&forward, i));
-                }
-            }
-        }
-    }
-
-    // Rebuild.
-    let mut out = Netlist::new(nl.name().to_string());
-    let mut map: HashMap<NetId, NetId> = HashMap::new();
-    let mut const_nets: [Option<NetId>; 2] = [None, None];
-    for &i in nl.inputs() {
-        map.insert(i, out.add_input(nl.net_name(i).to_string())?);
-    }
-    for ff in nl.dffs() {
-        let q = out.add_net(nl.net_name(ff.q()).to_string())?;
-        map.insert(ff.q(), q);
-    }
-    // Helper to fetch the rebuilt net for an original id.
-    fn fetch(
-        out: &mut Netlist,
-        nl: &Netlist,
-        id: NetId,
-        constant: &[Option<bool>],
-        forward: &[NetId],
-        map: &mut HashMap<NetId, NetId>,
-        const_nets: &mut [Option<NetId>; 2],
-    ) -> Result<NetId, NetlistError> {
-        let mut id = id;
-        while forward[id.index()] != id {
-            id = forward[id.index()];
-        }
-        if let Some(v) = constant[id.index()] {
-            let slot = usize::from(v);
-            if let Some(n) = const_nets[slot] {
-                return Ok(n);
-            }
-            let kind = if v {
-                GateKind::Const1
-            } else {
-                GateKind::Const0
-            };
-            let name = out.fresh_name(if v { "const1" } else { "const0" });
-            let n = out.add_gate(kind, name, &[])?;
-            const_nets[slot] = Some(n);
-            return Ok(n);
-        }
-        if let Some(&n) = map.get(&id) {
-            return Ok(n);
-        }
-        Err(NetlistError::UnknownNet(nl.net_name(id).to_string()))
-    }
-
-    let mut swept = 0usize;
-    for &g in &order {
-        if !live[g] {
-            if constant[nl.gates()[g].output().index()].is_none() {
-                swept += 1;
-            }
-            continue;
-        }
-        let gate = &nl.gates()[g];
-        // Resolve inputs and split into constant / free operands so
-        // identity operands (AND-with-1, OR-with-0, XOR-with-0/1) drop out.
-        let resolved: Vec<NetId> = gate
-            .inputs()
-            .iter()
-            .map(|&i| resolve(&forward, i))
-            .collect();
-        let free: Vec<NetId> = resolved
-            .iter()
-            .copied()
-            .filter(|&i| constant[i.index()].is_none())
-            .collect();
-        let true_count = resolved
-            .iter()
-            .filter(|&&i| constant[i.index()] == Some(true))
-            .count();
-        let name = nl.net_name(gate.output()).to_string();
-        let fetch_all = |out: &mut Netlist,
-                         map: &mut HashMap<NetId, NetId>,
-                         const_nets: &mut [Option<NetId>; 2],
-                         ids: &[NetId]|
-         -> Result<Vec<NetId>, NetlistError> {
-            ids.iter()
-                .map(|&i| fetch(out, nl, i, &constant, &forward, map, const_nets))
-                .collect()
-        };
-        let kind = gate.kind();
-        let simplified: Option<(GateKind, Vec<NetId>)> = match kind {
-            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
-                if free.len() < resolved.len() && !free.is_empty() =>
-            {
-                // Any controlling constant already folded the whole gate;
-                // the remaining constants are identity operands.
-                let inv = matches!(kind, GateKind::Nand | GateKind::Nor);
-                if free.len() == 1 {
-                    Some((
-                        if inv { GateKind::Not } else { GateKind::Buf },
-                        free.clone(),
-                    ))
-                } else {
-                    let base = match kind {
-                        GateKind::And | GateKind::Nand => {
-                            if inv {
-                                GateKind::Nand
-                            } else {
-                                GateKind::And
-                            }
-                        }
-                        _ => {
-                            if inv {
-                                GateKind::Nor
-                            } else {
-                                GateKind::Or
-                            }
-                        }
-                    };
-                    Some((base, free.clone()))
-                }
-            }
-            GateKind::Xor | GateKind::Xnor if free.len() < resolved.len() && !free.is_empty() => {
-                // Dropped true operands flip the polarity.
-                let flip = true_count % 2 == 1;
-                let base = match (kind, flip) {
-                    (GateKind::Xor, false) | (GateKind::Xnor, true) => GateKind::Xor,
-                    _ => GateKind::Xnor,
-                };
-                if free.len() == 1 {
-                    let k = if base == GateKind::Xor {
-                        GateKind::Buf
-                    } else {
-                        GateKind::Not
-                    };
-                    Some((k, free.clone()))
-                } else {
-                    Some((base, free.clone()))
-                }
-            }
-            _ => None,
-        };
-        let id = match simplified {
-            Some((GateKind::Buf, ins)) => {
-                // Pure forwarding: no gate needed at all.
-                folded += 1;
-                let src = fetch_all(&mut out, &mut map, &mut const_nets, &ins)?[0];
-                map.insert(gate.output(), src);
-                continue;
-            }
-            Some((k, ins)) => {
-                folded += 1;
-                let ins = fetch_all(&mut out, &mut map, &mut const_nets, &ins)?;
-                out.add_gate(k, name, &ins)?
-            }
-            None => {
-                let ins = fetch_all(&mut out, &mut map, &mut const_nets, &resolved)?;
-                out.add_gate(kind, name, &ins)?
-            }
-        };
-        map.insert(gate.output(), id);
-    }
-    for ff in nl.dffs() {
-        let d = fetch(
-            &mut out,
-            nl,
-            ff.d(),
-            &constant,
-            &forward,
-            &mut map,
-            &mut const_nets,
-        )?;
-        let q = map[&ff.q()];
-        let idx = out.add_dff(ff.name().to_string(), d, q)?;
-        out.set_dff_init(idx, ff.init());
-    }
-    for &o in nl.outputs() {
-        let id = fetch(
-            &mut out,
-            nl,
-            o,
-            &constant,
-            &forward,
-            &mut map,
-            &mut const_nets,
-        )?;
-        out.mark_output(id)?;
-    }
-    out.validate()?;
-    Ok((out, CleanupStats { folded, swept }))
+    let (out, stats) = simplify(nl, &SimplifyConfig::preserving_state())?;
+    Ok((
+        out,
+        CleanupStats {
+            folded: stats.folded + stats.merged,
+            swept: stats.swept_gates,
+        },
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bench;
+    use crate::{GateKind, Netlist};
 
     #[test]
     fn constants_fold_through() {
@@ -432,6 +142,20 @@ mod tests {
         .unwrap();
         let (clean, _) = cleanup(&nl).unwrap();
         assert_eq!(clean.gate_count(), 1);
+    }
+
+    #[test]
+    fn structural_duplicates_merged() {
+        let nl = bench::parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng1 = AND(a, b)\ng2 = AND(b, a)\n\
+             y = XOR(g1, g2)\n",
+        )
+        .unwrap();
+        let (clean, stats) = cleanup(&nl).unwrap();
+        // g2 merges into g1, XOR(g1, g1) folds to constant false.
+        assert!(stats.folded > 0, "{stats:?}");
+        assert!(clean.gate_count() <= 1, "got {}", clean.gate_count());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! free, the second bound to the first's inputs, and a vector-differ
 //! constraint on the outputs.
 
-use cutelock_netlist::unroll::{InitState, KeySharing};
+use cutelock_netlist::unroll::{scan_view, InitState, KeySharing};
 use cutelock_netlist::{Netlist, NetlistError};
 
 use crate::encode::{Binding, CircuitEncoder};
@@ -134,6 +134,81 @@ pub fn bounded_seq_equiv(
     })
 }
 
+/// SAT-proves that a simplified netlist is equivalent to its original —
+/// the self-check mode of the [`mod@cutelock_netlist::simplify`] engine,
+/// decided through the same miter machinery the attacks use.
+///
+/// Two regimes, picked by flip-flop count:
+///
+/// * **Same state (state-preserving simplification, or combinational):**
+///   the scan views of both circuits — pure combinational functions of
+///   `(inputs, state)` — are checked with [`comb_equiv`]. Because the
+///   simplifier preserves flip-flop count, order and init values in this
+///   mode, scan-view equality is a *complete* proof of cycle-exact
+///   sequential equivalence, not a bounded one.
+/// * **State dropped (cone-of-influence trimming removed flip-flops):**
+///   falls back to [`bounded_seq_equiv`] over `frames` cycles from reset,
+///   each SAT call capped at `conflict_budget` conflicts.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] when the primary interfaces don't line up
+/// (which would itself be a simplifier bug).
+pub fn simplify_self_check(
+    original: &Netlist,
+    simplified: &Netlist,
+    frames: usize,
+    conflict_budget: Option<u64>,
+) -> Result<EquivResult, NetlistError> {
+    check_interfaces(original, simplified)?;
+    if original.dff_count() != simplified.dff_count() {
+        return bounded_seq_equiv(original, simplified, frames, conflict_budget);
+    }
+    // Scan-view miter built from the explicit port vectors
+    // (`primary_outputs` / `next_state_outputs`) rather than
+    // `netlist.outputs()`: output marking dedupes, and simplification can
+    // change which D-nets coincide with primary outputs, so the deduped
+    // lists of the two views need not align positionally.
+    let a = scan_view(original)?;
+    let b = scan_view(simplified)?;
+    let (na, nb) = (&a.netlist, &b.netlist);
+    if na.input_count() != nb.input_count() {
+        return Err(NetlistError::BadArity {
+            kind: "scan-view inputs",
+            expected: na.input_count(),
+            got: nb.input_count(),
+        });
+    }
+    let mut enc = CircuitEncoder::new();
+    enc.solver.set_conflict_budget(conflict_budget);
+    let cnf_a = enc.encode(na, &Binding::new())?;
+    let mut shared = Binding::new();
+    shared.bind_all(nb.inputs(), &cnf_a.lits(na.inputs()));
+    let cnf_b = enc.encode(nb, &shared)?;
+    let oa: Vec<Lit> = a
+        .primary_outputs
+        .iter()
+        .chain(&a.next_state_outputs)
+        .map(|&o| cnf_a.lit(o))
+        .collect();
+    let ob: Vec<Lit> = b
+        .primary_outputs
+        .iter()
+        .chain(&b.next_state_outputs)
+        .map(|&o| cnf_b.lit(o))
+        .collect();
+    let diff = enc.differ(&oa, &ob);
+    enc.solver.add_clause(&[diff]);
+    Ok(match enc.solver.solve() {
+        SatResult::Unsat => EquivResult::Equivalent,
+        SatResult::Unknown => EquivResult::Unknown,
+        SatResult::Sat => {
+            let cex = enc.values(&cnf_a.lits(na.inputs()));
+            EquivResult::Counterexample(vec![cex])
+        }
+    })
+}
+
 fn check_interfaces(a: &Netlist, b: &Netlist) -> Result<(), NetlistError> {
     if a.input_count() != b.input_count() {
         return Err(NetlistError::BadArity {
@@ -232,6 +307,74 @@ mod tests {
         let a = bench::parse("a", "INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n").unwrap();
         let b = bench::parse("b", "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n").unwrap();
         assert!(comb_equiv(&a, &b).is_err());
+    }
+
+    #[test]
+    fn self_check_proves_simplified_equivalent() {
+        use cutelock_netlist::simplify::{simplify, SimplifyConfig};
+        // Sequential circuit with foldable structure and a dead FF cone.
+        let nl = bench::parse(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\n\
+             one = CONST1()\nsel = AND(b, one)\nd = MUX(sel, q, a)\n\
+             deadq = DFF(deadd)\ndeadd = AND(deadq, a)\n\
+             n1 = NOT(a)\nn2 = NOT(n1)\ny = XOR(q, n2)\n",
+        )
+        .unwrap();
+        // State-preserving: equal FF counts -> complete scan-view proof.
+        let (kept, _) = simplify(&nl, &SimplifyConfig::preserving_state()).unwrap();
+        assert_eq!(kept.dff_count(), nl.dff_count());
+        assert_eq!(
+            simplify_self_check(&nl, &kept, 4, None).unwrap(),
+            EquivResult::Equivalent
+        );
+        // Default config drops the dead FF -> bounded sequential fallback.
+        let (trimmed, _) = simplify(&nl, &SimplifyConfig::default()).unwrap();
+        assert!(trimmed.dff_count() < nl.dff_count());
+        assert_eq!(
+            simplify_self_check(&nl, &trimmed, 4, None).unwrap(),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn self_check_catches_broken_rewrites() {
+        // A wrong "simplification": OR instead of XOR in the next-state
+        // function must produce a counterexample, not a proof.
+        let a = bench::parse(
+            "a",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = XOR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let b = bench::parse(
+            "b",
+            "INPUT(en)\nOUTPUT(y)\n# @init q 0\nq = DFF(d)\nd = OR(q, en)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        match simplify_self_check(&a, &b, 4, None).unwrap() {
+            EquivResult::Counterexample(_) => {}
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_options_prepare_respects_switch() {
+        use crate::encode::EncodeOptions;
+        let nl = bench::parse(
+            "t",
+            "INPUT(a)\nOUTPUT(y)\nb1 = BUF(a)\nb2 = BUF(b1)\ny = NOT(b2)\n",
+        )
+        .unwrap();
+        let (raw, stats) = EncodeOptions::off().prepare(&nl).unwrap();
+        assert_eq!(raw.gate_count(), 3);
+        assert!(!stats.changed());
+        let (simplified, stats) = EncodeOptions::default().prepare(&nl).unwrap();
+        assert_eq!(simplified.gate_count(), 1);
+        assert!(stats.gates_removed() == 2 && stats.changed());
+        assert_eq!(
+            simplify_self_check(&nl, &simplified, 1, None).unwrap(),
+            EquivResult::Equivalent
+        );
     }
 
     #[test]

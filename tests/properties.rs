@@ -220,6 +220,73 @@ proptest! {
     }
 }
 
+/// Simplification-engine properties: for any generated sequential
+/// circuit, the simplified netlist must be observationally equivalent to
+/// the original — same primary-output trace for every input sequence —
+/// under both the default configuration (which may drop unobservable
+/// flip-flops) and the state-preserving one the attack paths use.
+mod simplify_properties {
+    use cute_lock::netlist::simplify::{simplify, SimplifyConfig};
+    use cute_lock::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `simulate(original) == simulate(simplified)` over random input
+        /// sequences from reset.
+        #[test]
+        fn simplified_netlists_simulate_identically(seed in 0u64..10_000, cycles in 1usize..12) {
+            let c = super::circuit_from_seed(seed);
+            let nl = &c.netlist;
+            for cfg in [SimplifyConfig::default(), SimplifyConfig::preserving_state()] {
+                let (simplified, stats) = simplify(nl, &cfg).expect("simplifies");
+                simplified.validate().expect("rebuild is structurally valid");
+                prop_assert_eq!(simplified.input_count(), nl.input_count());
+                prop_assert_eq!(simplified.output_count(), nl.output_count());
+                if cfg.keep_all_dffs {
+                    prop_assert_eq!(simplified.dff_count(), nl.dff_count());
+                }
+                let mut a = NetlistOracle::new(nl.clone()).expect("oracle");
+                let mut b = NetlistOracle::new(simplified.clone()).expect("oracle");
+                a.reset();
+                b.reset();
+                let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                for t in 0..cycles {
+                    let inputs: Vec<bool> = (0..nl.input_count())
+                        .map(|_| {
+                            rng ^= rng << 13;
+                            rng ^= rng >> 7;
+                            rng ^= rng << 17;
+                            rng & 1 == 1
+                        })
+                        .collect();
+                    prop_assert_eq!(
+                        a.step(&inputs),
+                        b.step(&inputs),
+                        "cycle {} diverged ({})", t, stats
+                    );
+                }
+            }
+        }
+
+        /// Simplification is a pure function: two runs on the same input
+        /// serialize identically, and a second application is a fixpoint
+        /// (the determinism contract DETERMINISM.md Rule 8 documents).
+        #[test]
+        fn simplify_is_pure_and_idempotent(seed in 0u64..10_000) {
+            let c = super::circuit_from_seed(seed);
+            let cfg = SimplifyConfig::default();
+            let (s1, _) = simplify(&c.netlist, &cfg).expect("simplifies");
+            let (s2, _) = simplify(&c.netlist, &cfg).expect("simplifies");
+            prop_assert_eq!(bench::write(&s1), bench::write(&s2), "not deterministic");
+            let (fixed, stats) = simplify(&s1, &cfg).expect("simplifies");
+            prop_assert!(!stats.changed(), "not a fixpoint: {}", stats);
+            prop_assert_eq!(bench::write(&s1), bench::write(&fixed));
+        }
+    }
+}
+
 /// Clock-arithmetic properties: the repo-local `Instant`/`Duration`
 /// algebra in `cutelock_core::clock` must be total (saturating, never
 /// panicking) and the two clock implementations must agree on it.
