@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use crate::outcome::verify_candidate_key;
 use crate::portfolio::Portfolio;
 use crate::scan::ScanModel;
-use crate::{AttackBudget, AttackOutcome, AttackReport};
+use crate::{AttackBudget, AttackOutcome, AttackReport, RunStats};
 
 /// Settings specific to AppSAT.
 #[derive(Debug, Clone, Copy)]
@@ -81,14 +81,15 @@ pub fn appsat_attack_with(
     portfolio: &Portfolio,
 ) -> AttackReport {
     let start = budget.start();
-    let mk = |outcome, iterations| AttackReport {
+    let mk = |outcome, iterations, stats: RunStats| AttackReport {
         outcome,
         elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
+        stats,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
-        return mk(AttackOutcome::Fail, 0);
+        return mk(AttackOutcome::Fail, 0, RunStats::default());
     };
     m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
@@ -101,22 +102,36 @@ pub fn appsat_attack_with(
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
-            return mk(AttackOutcome::Timeout, iterations);
+            return mk(
+                AttackOutcome::Timeout,
+                iterations,
+                m.solver().stats().into(),
+            );
         };
         m.solver().set_timeout(Some(rem));
         match portfolio.race_scoped(m.solver(), &[]) {
-            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unknown => {
+                return mk(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    m.solver().stats().into(),
+                )
+            }
             SatResult::Unsat => break,
             SatResult::Sat => {
                 iterations += 1;
                 if iterations > budget.max_iterations {
-                    return mk(AttackOutcome::Timeout, iterations);
+                    return mk(
+                        AttackOutcome::Timeout,
+                        iterations,
+                        m.solver().stats().into(),
+                    );
                 }
                 let x = m.values(&m.xs);
                 let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
                 if portfolio.race(m.solver()) == SatResult::Unsat {
-                    return mk(AttackOutcome::Cns, iterations);
+                    return mk(AttackOutcome::Cns, iterations, m.solver().stats().into());
                 }
                 // Settle phase: estimate the current candidate's error.
                 if iterations % config.settle_every == 0 {
@@ -124,9 +139,17 @@ pub fn appsat_attack_with(
                     let err = estimate_error(locked, &cand, config.queries, &mut rng);
                     if err <= config.error_threshold {
                         return if verify_candidate_key(locked, &cand, 256, 0xa1) {
-                            mk(AttackOutcome::KeyFound(cand), iterations)
+                            mk(
+                                AttackOutcome::KeyFound(cand),
+                                iterations,
+                                m.solver().stats().into(),
+                            )
                         } else {
-                            mk(AttackOutcome::WrongKey(cand), iterations)
+                            mk(
+                                AttackOutcome::WrongKey(cand),
+                                iterations,
+                                m.solver().stats().into(),
+                            )
                         };
                     }
                 }
@@ -135,14 +158,26 @@ pub fn appsat_attack_with(
     }
     m.solver().pop_scope();
     match portfolio.race(m.solver()) {
-        SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
-        SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
+        SatResult::Unsat => mk(AttackOutcome::Cns, iterations, m.solver().stats().into()),
+        SatResult::Unknown => mk(
+            AttackOutcome::Timeout,
+            iterations,
+            m.solver().stats().into(),
+        ),
         SatResult::Sat => {
             let cand = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &cand, 256, 0xa2) {
-                mk(AttackOutcome::KeyFound(cand), iterations)
+                mk(
+                    AttackOutcome::KeyFound(cand),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             } else {
-                mk(AttackOutcome::WrongKey(cand), iterations)
+                mk(
+                    AttackOutcome::WrongKey(cand),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             }
         }
     }
@@ -167,14 +202,15 @@ pub fn double_dip_attack_with(
     portfolio: &Portfolio,
 ) -> AttackReport {
     let start = budget.start();
-    let mk = |outcome, iterations| AttackReport {
+    let mk = |outcome, iterations, stats: RunStats| AttackReport {
         outcome,
         elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
+        stats,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
-        return mk(AttackOutcome::Fail, 0);
+        return mk(AttackOutcome::Fail, 0, RunStats::default());
     };
     m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
@@ -191,16 +227,30 @@ pub fn double_dip_attack_with(
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
-            return mk(AttackOutcome::Timeout, iterations);
+            return mk(
+                AttackOutcome::Timeout,
+                iterations,
+                m.solver().stats().into(),
+            );
         };
         m.solver().set_timeout(Some(rem));
         match portfolio.race_scoped(m.solver(), &[]) {
-            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unknown => {
+                return mk(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    m.solver().stats().into(),
+                )
+            }
             SatResult::Unsat => break,
             SatResult::Sat => {
                 iterations += 1;
                 if iterations > budget.max_iterations {
-                    return mk(AttackOutcome::Timeout, iterations);
+                    return mk(
+                        AttackOutcome::Timeout,
+                        iterations,
+                        m.solver().stats().into(),
+                    );
                 }
                 let x = m.values(&m.xs);
                 let s = m.values(&m.ss);
@@ -209,7 +259,7 @@ pub fn double_dip_attack_with(
                 let (k1, k2) = (m.k1.clone(), m.k2.clone());
                 m.constrain_pattern_for(&[&k1, &k2, &k3], &x, &s);
                 if portfolio.race(m.solver()) == SatResult::Unsat {
-                    return mk(AttackOutcome::Cns, iterations);
+                    return mk(AttackOutcome::Cns, iterations, m.solver().stats().into());
                 }
             }
         }
@@ -222,36 +272,62 @@ pub fn double_dip_attack_with(
     m.solver().add_scoped_clause(&[d12]);
     loop {
         let Some(rem) = budget.remaining(start) else {
-            return mk(AttackOutcome::Timeout, iterations);
+            return mk(
+                AttackOutcome::Timeout,
+                iterations,
+                m.solver().stats().into(),
+            );
         };
         m.solver().set_timeout(Some(rem));
         match portfolio.race_scoped(m.solver(), &[]) {
-            SatResult::Unknown => return mk(AttackOutcome::Timeout, iterations),
+            SatResult::Unknown => {
+                return mk(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    m.solver().stats().into(),
+                )
+            }
             SatResult::Unsat => break,
             SatResult::Sat => {
                 iterations += 1;
                 if iterations > budget.max_iterations {
-                    return mk(AttackOutcome::Timeout, iterations);
+                    return mk(
+                        AttackOutcome::Timeout,
+                        iterations,
+                        m.solver().stats().into(),
+                    );
                 }
                 let x = m.values(&m.xs);
                 let s = m.values(&m.ss);
                 m.constrain_pattern(&x, &s);
                 if portfolio.race(m.solver()) == SatResult::Unsat {
-                    return mk(AttackOutcome::Cns, iterations);
+                    return mk(AttackOutcome::Cns, iterations, m.solver().stats().into());
                 }
             }
         }
     }
     m.solver().pop_scope();
     match portfolio.race(m.solver()) {
-        SatResult::Unsat => mk(AttackOutcome::Cns, iterations),
-        SatResult::Unknown => mk(AttackOutcome::Timeout, iterations),
+        SatResult::Unsat => mk(AttackOutcome::Cns, iterations, m.solver().stats().into()),
+        SatResult::Unknown => mk(
+            AttackOutcome::Timeout,
+            iterations,
+            m.solver().stats().into(),
+        ),
         SatResult::Sat => {
             let cand = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &cand, 256, 0xdd) {
-                mk(AttackOutcome::KeyFound(cand), iterations)
+                mk(
+                    AttackOutcome::KeyFound(cand),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             } else {
-                mk(AttackOutcome::WrongKey(cand), iterations)
+                mk(
+                    AttackOutcome::WrongKey(cand),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             }
         }
     }

@@ -44,7 +44,7 @@ use cutelock_sim::{NetlistOracle, SequentialOracle};
 
 use crate::outcome::verify_candidate_key;
 use crate::portfolio::Portfolio;
-use crate::{AttackBudget, AttackOutcome, AttackReport};
+use crate::{AttackBudget, AttackOutcome, AttackReport, RunStats};
 
 /// Which unrolling strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,12 +183,13 @@ impl<'a> Engine<'a> {
         self.budget.remaining(self.start)
     }
 
-    fn report(&self, outcome: AttackOutcome, bound: usize) -> AttackReport {
+    fn report(&self, outcome: AttackOutcome, bound: usize, stats: RunStats) -> AttackReport {
         AttackReport {
             outcome,
             elapsed: self.budget.clock.now().duration_since(self.start),
             iterations: self.iterations,
             bound,
+            stats,
         }
     }
 
@@ -304,7 +305,7 @@ impl<'a> Engine<'a> {
     pub(crate) fn run(mut self, mode: BmcMode) -> AttackReport {
         let ki = self.locked.netlist.key_inputs().len();
         if ki == 0 {
-            return self.report(AttackOutcome::Fail, 0);
+            return self.report(AttackOutcome::Fail, 0, RunStats::default());
         }
         let mut oracle =
             NetlistOracle::new(self.locked.original.clone()).expect("oracle netlist valid");
@@ -367,16 +368,30 @@ impl<'a> Engine<'a> {
             st.m.enc.solver.add_scoped_clause(&diff_lits);
             loop {
                 let Some(rem) = self.remaining() else {
-                    return self.report(AttackOutcome::Timeout, bound);
+                    return self.report(
+                        AttackOutcome::Timeout,
+                        bound,
+                        st.m.enc.solver.stats().into(),
+                    );
                 };
                 st.m.enc.solver.set_timeout(Some(rem));
                 match self.portfolio.race_scoped(&mut st.m.enc.solver, &[]) {
-                    SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
+                    SatResult::Unknown => {
+                        return self.report(
+                            AttackOutcome::Timeout,
+                            bound,
+                            st.m.enc.solver.stats().into(),
+                        )
+                    }
                     SatResult::Unsat => break, // no DIS at this bound
                     SatResult::Sat => {
                         self.iterations += 1;
                         if self.iterations > self.budget.max_iterations {
-                            return self.report(AttackOutcome::Timeout, bound);
+                            return self.report(
+                                AttackOutcome::Timeout,
+                                bound,
+                                st.m.enc.solver.stats().into(),
+                            );
                         }
                         let xseq: Vec<Vec<bool>> = st
                             .c1
@@ -400,11 +415,19 @@ impl<'a> Engine<'a> {
                         if self.fix_key_bits
                             && self.crunch_key_bits(&mut st.m.enc.solver, &st.k1, &mut fixed)
                         {
-                            return self.report(AttackOutcome::Timeout, bound);
+                            return self.report(
+                                AttackOutcome::Timeout,
+                                bound,
+                                st.m.enc.solver.stats().into(),
+                            );
                         }
                         // Consistency: does any constant key remain?
                         if self.portfolio.race(&mut st.m.enc.solver) == SatResult::Unsat {
-                            return self.report(AttackOutcome::Cns, bound);
+                            return self.report(
+                                AttackOutcome::Cns,
+                                bound,
+                                st.m.enc.solver.stats().into(),
+                            );
                         }
                     }
                 }
@@ -413,21 +436,41 @@ impl<'a> Engine<'a> {
 
             // No DIS at this bound: extract and verify a candidate key.
             match self.portfolio.race(&mut st.m.enc.solver) {
-                SatResult::Unsat => return self.report(AttackOutcome::Cns, bound),
-                SatResult::Unknown => return self.report(AttackOutcome::Timeout, bound),
+                SatResult::Unsat => {
+                    return self.report(AttackOutcome::Cns, bound, st.m.enc.solver.stats().into())
+                }
+                SatResult::Unknown => {
+                    return self.report(
+                        AttackOutcome::Timeout,
+                        bound,
+                        st.m.enc.solver.stats().into(),
+                    )
+                }
                 SatResult::Sat => {
                     let key = KeyValue::from_bits(st.m.enc.values(&st.k1));
                     if verify_candidate_key(self.locked, &key, 256, 0xd1f) {
-                        return self.report(AttackOutcome::KeyFound(key), bound);
+                        return self.report(
+                            AttackOutcome::KeyFound(key),
+                            bound,
+                            st.m.enc.solver.stats().into(),
+                        );
                     }
                     if bound == self.budget.max_bound {
-                        return self.report(AttackOutcome::WrongKey(key), bound);
+                        return self.report(
+                            AttackOutcome::WrongKey(key),
+                            bound,
+                            st.m.enc.solver.stats().into(),
+                        );
                     }
                     // Deepen the unrolling and keep going.
                 }
             }
         }
-        self.report(AttackOutcome::Fail, self.budget.max_bound)
+        let stats = inc
+            .as_ref()
+            .map(|st| st.m.enc.solver.stats().into())
+            .unwrap_or_default();
+        self.report(AttackOutcome::Fail, self.budget.max_bound, stats)
     }
 }
 

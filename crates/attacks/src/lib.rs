@@ -81,12 +81,14 @@ pub mod kc2;
 mod outcome;
 pub mod portfolio;
 pub mod rane;
+pub mod record;
 pub mod sat_attack;
 mod scan;
 pub mod spec;
 
-pub use outcome::{AttackBudget, AttackOutcome, AttackReport};
+pub use outcome::{AttackBudget, AttackOutcome, AttackReport, RunStats};
 pub use portfolio::{
     portfolio_attack, portfolio_attack_with_stop, Portfolio, RaceReport, Strategy,
 };
+pub use record::{write_records, RunRecord};
 pub use spec::{run_attack, run_race, simplify_locked, AttackSpec, AttackStrategy};

@@ -124,6 +124,34 @@ impl Default for AttackBudget {
     }
 }
 
+/// Deterministic solver-side counters carried out of an attack — the
+/// columns `--store` persists alongside the verdict. Every field is a
+/// function of the search, not the machine: two runs of the same spec
+/// produce identical stats at any thread count (`docs/DETERMINISM.md`
+/// Rule 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// SAT conflicts across the attack's final solver.
+    pub conflicts: u64,
+    /// Unit propagations across the attack's final solver.
+    pub propagations: u64,
+    /// Learnt-clause garbage collections performed.
+    pub gc_runs: u64,
+    /// Learnt clauses freed by garbage collection.
+    pub gc_freed_clauses: u64,
+}
+
+impl From<cutelock_sat::SolverStats> for RunStats {
+    fn from(s: cutelock_sat::SolverStats) -> Self {
+        RunStats {
+            conflicts: s.conflicts,
+            propagations: s.propagations,
+            gc_runs: s.gc_runs,
+            gc_freed_clauses: s.gc_freed_clauses,
+        }
+    }
+}
+
 /// An attack outcome with bookkeeping, one table cell's worth of data.
 #[derive(Debug, Clone)]
 pub struct AttackReport {
@@ -135,6 +163,9 @@ pub struct AttackReport {
     pub iterations: usize,
     /// Final unrolling bound reached (0 for combinational attacks).
     pub bound: usize,
+    /// Deterministic solver counters (zeroed for attacks that never touch
+    /// a SAT solver, e.g. FALL/DANA).
+    pub stats: RunStats,
 }
 
 impl AttackReport {
@@ -216,6 +247,7 @@ mod tests {
             elapsed: Duration::from_millis(385_446),
             iterations: 3,
             bound: 2,
+            stats: RunStats::default(),
         };
         assert_eq!(r.time_string(), "6m25.446s");
         let hours = AttackReport {
@@ -223,6 +255,7 @@ mod tests {
             elapsed: Duration::from_secs(7 * 3600 + 56 * 60 + 45),
             iterations: 0,
             bound: 0,
+            stats: RunStats::default(),
         };
         assert_eq!(hours.time_string(), "7h56m45s");
     }

@@ -452,6 +452,7 @@ pub fn portfolio_attack_with_stop(
             elapsed: std::time::Duration::ZERO,
             iterations: 0,
             bound: 0,
+            stats: crate::RunStats::default(),
         };
         return RaceReport {
             winner: None,

@@ -27,7 +27,7 @@ use cutelock_sat::SatResult;
 use crate::outcome::verify_candidate_key;
 use crate::portfolio::Portfolio;
 use crate::scan::ScanModel;
-use crate::{AttackBudget, AttackOutcome, AttackReport};
+use crate::{AttackBudget, AttackOutcome, AttackReport, RunStats};
 
 /// Runs the scan-access oracle-guided SAT attack on `locked` with a single
 /// solver per query (no portfolio racing). Delegates to
@@ -48,14 +48,15 @@ pub fn scan_sat_attack_with(
     portfolio: &Portfolio,
 ) -> AttackReport {
     let start = budget.start();
-    let report = |outcome: AttackOutcome, iterations: usize| AttackReport {
+    let report = |outcome: AttackOutcome, iterations: usize, stats: RunStats| AttackReport {
         outcome,
         elapsed: budget.clock.now().duration_since(start),
         iterations,
         bound: 1,
+        stats,
     };
     let Some(mut m) = ScanModel::new(locked, budget.conflict_budget) else {
-        return report(AttackOutcome::Fail, 0);
+        return report(AttackOutcome::Fail, 0, RunStats::default());
     };
     m.solver().set_clock(budget.clock.clone());
     portfolio.install(m.solver());
@@ -69,16 +70,30 @@ pub fn scan_sat_attack_with(
     let mut iterations = 0usize;
     loop {
         let Some(rem) = budget.remaining(start) else {
-            return report(AttackOutcome::Timeout, iterations);
+            return report(
+                AttackOutcome::Timeout,
+                iterations,
+                m.solver().stats().into(),
+            );
         };
         m.solver().set_timeout(Some(rem));
         match portfolio.race_scoped(m.solver(), &[]) {
-            SatResult::Unknown => return report(AttackOutcome::Timeout, iterations),
+            SatResult::Unknown => {
+                return report(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    m.solver().stats().into(),
+                )
+            }
             SatResult::Unsat => break,
             SatResult::Sat => {
                 iterations += 1;
                 if iterations > budget.max_iterations {
-                    return report(AttackOutcome::Timeout, iterations);
+                    return report(
+                        AttackOutcome::Timeout,
+                        iterations,
+                        m.solver().stats().into(),
+                    );
                 }
                 let x_dip = m.values(&m.xs);
                 let s_dip = m.values(&m.ss);
@@ -86,21 +101,33 @@ pub fn scan_sat_attack_with(
                 // pattern.
                 m.constrain_pattern(&x_dip, &s_dip);
                 if portfolio.race(m.solver()) == SatResult::Unsat {
-                    return report(AttackOutcome::Cns, iterations);
+                    return report(AttackOutcome::Cns, iterations, m.solver().stats().into());
                 }
             }
         }
     }
     m.solver().pop_scope();
     match portfolio.race(m.solver()) {
-        SatResult::Unsat => report(AttackOutcome::Cns, iterations),
-        SatResult::Unknown => report(AttackOutcome::Timeout, iterations),
+        SatResult::Unsat => report(AttackOutcome::Cns, iterations, m.solver().stats().into()),
+        SatResult::Unknown => report(
+            AttackOutcome::Timeout,
+            iterations,
+            m.solver().stats().into(),
+        ),
         SatResult::Sat => {
             let key = KeyValue::from_bits(m.values(&m.k1));
             if verify_candidate_key(locked, &key, 256, 0x5a7) {
-                report(AttackOutcome::KeyFound(key), iterations)
+                report(
+                    AttackOutcome::KeyFound(key),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             } else {
-                report(AttackOutcome::WrongKey(key), iterations)
+                report(
+                    AttackOutcome::WrongKey(key),
+                    iterations,
+                    m.solver().stats().into(),
+                )
             }
         }
     }

@@ -225,6 +225,7 @@ pub fn run_attack(locked: &LockedCircuit, spec: &AttackSpec) -> AttackReport {
                 elapsed: r.elapsed,
                 iterations: r.candidates,
                 bound: 0,
+                stats: crate::RunStats::default(),
             }
         }
         AttackStrategy::Race => run_race(locked, spec).report,

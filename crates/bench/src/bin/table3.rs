@@ -21,7 +21,7 @@
 //! the attacks must then *succeed*, which validates the attack
 //! implementations themselves.
 
-use cutelock_attacks::{run_attack, AttackReport, AttackStrategy};
+use cutelock_attacks::{run_attack, AttackReport, AttackStrategy, RunRecord};
 use cutelock_bench::params::{in_quick_set, TABLE3};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::synthezza;
@@ -29,7 +29,8 @@ use cutelock_core::beh::{CuteLockBeh, CuteLockBehConfig, WrongfulPolicy};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table3 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify] \
+                     [--store FILE]\n\
                      Cute-Lock-Beh vs BBO/INT/KC2 on the Synthezza suite (paper Table III)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -38,6 +39,8 @@ struct Row {
     k: usize,
     ki: usize,
     reports: [AttackReport; 3],
+    /// One `--store` record per attack column, in column order.
+    records: Vec<RunRecord>,
 }
 
 /// The three attack columns, in print order.
@@ -98,11 +101,19 @@ fn main() {
                 })
                 .lock(&stg)
                 .map_err(|e| format!("{name}: lock failed: {e}"))?;
+                let mut records = Vec::with_capacity(COLUMNS.len());
+                let reports = COLUMNS.map(|s| {
+                    let spec = opt.spec_with(s, width);
+                    let report = run_attack(&locked, &spec);
+                    records.push(RunRecord::from_run(name, 0x7ab1e3, &locked, &spec, &report));
+                    report
+                });
                 Ok(Row {
                     name,
                     k,
                     ki,
-                    reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec_with(s, width))),
+                    reports,
+                    records,
                 })
             });
 
@@ -136,6 +147,14 @@ fn main() {
         );
     }
     rule(104);
+    // `--store`: persist every run in table order (row-major, column order
+    // within a row), so the database is `--threads`-independent too.
+    let records: Vec<RunRecord> = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .flat_map(|row| row.records.iter().cloned())
+        .collect();
+    opt.store_records(&records);
     if opt.single_key {
         println!(
             "single-key reduction: {recovered}/{} attack runs recovered the key across {ran} \

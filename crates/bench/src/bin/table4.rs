@@ -18,7 +18,7 @@
 //!
 //! `--single-key` validates the attacks instead (paper §IV.A).
 
-use cutelock_attacks::{run_attack, AttackReport, AttackStrategy};
+use cutelock_attacks::{run_attack, AttackReport, AttackStrategy, RunRecord};
 use cutelock_bench::params::{in_quick_set, TABLE4_ISCAS, TABLE4_ITC};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::{iscas89, itc99};
@@ -26,7 +26,8 @@ use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 use cutelock_core::{KeySchedule, KeyValue};
 
 const USAGE: &str = "table4 [--quick] [--single-key] [--only NAME] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify] \
+                     [--store FILE]\n\
                      Cute-Lock-Str vs BBO/INT/KC2/RANE on ISCAS'89 + ITC'99 (paper Table IV)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -35,6 +36,8 @@ struct Row {
     k: usize,
     ki: usize,
     reports: [AttackReport; 4],
+    /// One `--store` record per attack column, in column order.
+    records: Vec<RunRecord>,
 }
 
 /// The four attack columns, in print order.
@@ -99,11 +102,19 @@ fn main() {
                 })
                 .lock(&circuit.netlist)
                 .map_err(|e| format!("{name}: lock failed: {e}"))?;
+                let mut records = Vec::with_capacity(COLUMNS.len());
+                let reports = COLUMNS.map(|s| {
+                    let spec = opt.spec_with(s, width);
+                    let report = run_attack(&locked, &spec);
+                    records.push(RunRecord::from_run(name, 0x7ab1e4, &locked, &spec, &report));
+                    report
+                });
                 Ok(Row {
                     name,
                     k,
                     ki,
-                    reports: COLUMNS.map(|s| run_attack(&locked, &opt.spec_with(s, width))),
+                    reports,
+                    records,
                 })
             });
 
@@ -146,6 +157,20 @@ fn main() {
         }
     }
     rule(120);
+    // `--store`: persist every run in *printed* order — suite-major, then
+    // table order within the suite — so the database matches the table and
+    // stays `--threads`-independent.
+    let mut records: Vec<RunRecord> = Vec::new();
+    for si in 0..suites.len() {
+        for (i, result) in results.iter().enumerate() {
+            if selected[i].0 == si {
+                if let Ok(row) = result {
+                    records.extend(row.records.iter().cloned());
+                }
+            }
+        }
+    }
+    opt.store_records(&records);
     if opt.single_key {
         println!(
             "single-key reduction: {recovered}/{} attack runs recovered the key across {ran} \

@@ -19,7 +19,7 @@
 
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
 use cutelock_attacks::fall::{fall_attack_with, fall_attack_with_budget, FallReport};
-use cutelock_attacks::{AttackOutcome, AttackStrategy};
+use cutelock_attacks::{AttackOutcome, AttackReport, AttackStrategy, RunRecord, RunStats};
 use cutelock_bench::params::{in_quick_set, TABLE5};
 use cutelock_bench::{rule, Options};
 use cutelock_circuits::itc99;
@@ -27,7 +27,8 @@ use cutelock_core::baselines::TtLock;
 use cutelock_core::str_lock::{CuteLockStr, CuteLockStrConfig};
 
 const USAGE: &str = "table5 [--quick] [--only NAME] [--baselines] [--timeout SECS] \
-                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify]\n\
+                     [--threads N] [--no-times] [--portfolio K] [--share] [--share-cap N] [--no-simplify] \
+                     [--store FILE]\n\
                      DANA NMI + FALL on Cute-Lock-Str-locked ITC'99 (paper Table V)";
 
 /// One finished circuit row, computed by a pool worker.
@@ -39,6 +40,9 @@ struct Row {
     /// A DANA run (clean or locked) hit its deadline: the NMI scores come
     /// from a partial partition.
     dana_timed_out: bool,
+    /// The FALL run as a `--store` record (DANA scores clusterings, not
+    /// attack verdicts, so it has no row shape in the run schema).
+    record: RunRecord,
 }
 
 fn main() {
@@ -93,12 +97,24 @@ fn main() {
             // width this unit was allocated.
             let spec = opt.spec_with(AttackStrategy::Fall, width);
             let fall = fall_attack_with(&locked, &spec.budget, &spec.portfolio);
+            // FALL's structural report has no generic `AttackReport`; fold
+            // it into one so the `--store` row shares the run schema
+            // (candidate count stands in for iterations; no SAT stats).
+            let report = AttackReport {
+                outcome: fall.outcome.clone(),
+                elapsed: fall.elapsed,
+                iterations: fall.candidates,
+                bound: 0,
+                stats: RunStats::default(),
+            };
+            let record = RunRecord::from_run(name, 0x7ab1e5, &locked, &spec, &report);
             Ok(Row {
                 name,
                 clean,
                 locked_score,
                 fall,
                 dana_timed_out: clean_dana.timed_out || dana.timed_out,
+                record,
             })
         });
 
@@ -136,6 +152,13 @@ fn main() {
         );
     }
     rule(64);
+    // `--store`: one FALL record per circuit, in table order.
+    let records: Vec<RunRecord> = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|row| row.record.clone())
+        .collect();
+    opt.store_records(&records);
     let avg = |v: &[f64]| {
         if v.is_empty() {
             0.0

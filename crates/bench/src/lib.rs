@@ -98,6 +98,13 @@ pub struct Options {
     /// determinism diff — but it can change which wrong key survives a
     /// capped search, so CI diffs on-vs-off at the verdict level only.
     pub simplify: bool,
+    /// `--store FILE`: append one [`cutelock_attacks::RunRecord`] per
+    /// attack run to a `cutelock_store` columnar database after the table
+    /// prints. Records are written in table order regardless of
+    /// `--threads`, and the bins run on the wall clock so the `elapsed_ns`
+    /// column is recorded as 0 — the store file is byte-for-byte
+    /// reproducible (`docs/DETERMINISM.md` Rule 9).
+    pub store: Option<String>,
 }
 
 impl Default for Options {
@@ -114,6 +121,7 @@ impl Default for Options {
             share: false,
             share_cap: None,
             simplify: true,
+            store: None,
         }
     }
 }
@@ -164,6 +172,13 @@ impl Options {
                 "--share" => opt.share = true,
                 "--simplify" => opt.simplify = true,
                 "--no-simplify" => opt.simplify = false,
+                "--store" => {
+                    opt.store = args.next();
+                    if opt.store.is_none() {
+                        eprintln!("--store needs a file path\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
                 "--share-cap" => {
                     let n: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--share-cap needs a limit\n{usage}");
@@ -260,6 +275,22 @@ impl Options {
             r.outcome.label().to_string()
         } else {
             format!("{} {}", r.outcome.label(), r.time_string())
+        }
+    }
+
+    /// Appends `records` to the `--store` database, if one was requested.
+    /// The bins call this once, after the table prints, with records
+    /// already merged in table order — so the store file is identical for
+    /// any `--threads` count. A write failure aborts the bin: a silently
+    /// missing store file would defeat the perf-trajectory gate.
+    pub fn store_records(&self, records: &[cutelock_attacks::RunRecord]) {
+        let Some(path) = &self.store else { return };
+        match cutelock_attacks::write_records(path, records) {
+            Ok(()) => eprintln!("recorded {} run(s) in {path}", records.len()),
+            Err(e) => {
+                eprintln!("--store {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -372,6 +403,16 @@ mod tests {
     }
 
     #[test]
+    fn store_flag_carries_the_path() {
+        let o = parse(&[]);
+        assert!(o.store.is_none());
+        // store_records without --store is a no-op, not an error.
+        o.store_records(&[]);
+        let o = parse(&["--store", "runs.clk"]);
+        assert_eq!(o.store.as_deref(), Some("runs.clk"));
+    }
+
+    #[test]
     fn units_declare_one_entrant_set_per_circuit() {
         let o = parse(&["--portfolio", "4"]);
         assert_eq!(o.units(3), vec![4, 4, 4]);
@@ -394,12 +435,13 @@ mod tests {
 
     #[test]
     fn no_times_masks_wall_clock_columns() {
-        use cutelock_attacks::{AttackOutcome, AttackReport};
+        use cutelock_attacks::{AttackOutcome, AttackReport, RunStats};
         let r = AttackReport {
             outcome: AttackOutcome::Cns,
             elapsed: Duration::from_millis(1234),
             iterations: 1,
             bound: 1,
+            stats: RunStats::default(),
         };
         let o = parse(&["--no-times"]);
         assert_eq!(o.cell(&r), "CNS");

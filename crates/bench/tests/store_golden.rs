@@ -1,0 +1,73 @@
+//! Golden store test: the table bins write their `--store` database in
+//! table order on the wall clock (elapsed masked to 0 — DETERMINISM.md
+//! Rule 9), so a 1-thread and a 4-thread run of the same table must
+//! produce **byte-identical** store files.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A process-unique scratch directory, removed on drop.
+struct TmpDir(PathBuf);
+
+impl TmpDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "cutelock-bench-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).expect("create tmpdir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the compiled `table3` bin on one quick circuit, storing into
+/// `store`; the bin exits 0 when the defense holds (the expected result).
+fn table3_run(store: &str, threads: &str) {
+    let out = Command::new(env!("CARGO_BIN_EXE_table3"))
+        .args([
+            "--quick",
+            "--only",
+            "cat",
+            "--no-times",
+            "--threads",
+            threads,
+            "--store",
+            store,
+        ])
+        .output()
+        .expect("spawn table3");
+    assert!(
+        out.status.success(),
+        "table3 failed (threads={threads}):\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn table3_store_is_thread_count_independent() {
+    let tmp = TmpDir::new("store-golden");
+    let one = tmp.path("t1.clk");
+    let four = tmp.path("t4.clk");
+    table3_run(&one, "1");
+    table3_run(&four, "4");
+    let bytes_one = fs::read(&one).expect("1-thread store written");
+    assert!(!bytes_one.is_empty());
+    assert_eq!(
+        bytes_one,
+        fs::read(&four).expect("4-thread store written"),
+        "table3 --store must be byte-identical at any --threads count"
+    );
+}

@@ -7,7 +7,9 @@ use std::time::Duration;
 use cutelock_attacks::certify::prove_locked_equivalence;
 use cutelock_attacks::dana::{dana_attack_with_budget, score_against_ground_truth};
 use cutelock_attacks::portfolio::{Portfolio, Strategy};
-use cutelock_attacks::{run_attack, run_race, AttackBudget, AttackSpec, AttackStrategy};
+use cutelock_attacks::{
+    run_attack, run_race, write_records, AttackBudget, AttackSpec, AttackStrategy, RunRecord,
+};
 use cutelock_circuits::{iscas89, iscas89_names, itc99, itc99_names};
 use cutelock_core::baselines::{DkLock, SledLock, TtLock, XorLock};
 use cutelock_core::clock::VirtualClock;
@@ -61,6 +63,18 @@ COMMANDS:
               no constant key exists); exit 2: refuted key, FAIL, or
               timeout — nothing was settled (dana, which clusters rather
               than verdicts, always exits 0)
+              [--store FILE] appends the run (circuit, scheme, verdict,
+              iterations, conflicts, GC/share totals, virtual-clock
+              elapsed) to a columnar run database for `cutelock report`
+  report    Query a run database written by --store
+              --store FILE [--where col=v,col=v] [--group-by col,col]
+              [--metric COL (default conflicts, else median_ns)]
+              [--percentiles 50,90,...]
+              [--emit-bench FILE --tag TAG]  (writes a BENCH_<tag>.json
+               perf-trajectory baseline from the group medians)
+              [--compare-baseline FILE [--threshold PCT (default 10)]]
+              exit 0: no regression; nonzero when any group's median
+              exceeds the baseline by more than the threshold
   verify    Prove a locked netlist cycle-exact against its original under
             a key schedule (SAT, all input sequences up to the bound)
               --locked FILE --original FILE --keys FILE
@@ -99,6 +113,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "lock" => cmd_lock(rest),
         "attack" => cmd_attack(rest),
+        "report" => cmd_report(rest),
         "verify" => cmd_verify(rest),
         "overhead" => cmd_overhead(rest),
         "convert" => cmd_convert(rest),
@@ -232,7 +247,11 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
     // The built-in smoke target only stands in when *neither* netlist was
     // given; with one of the two present, the normal path reports the
     // missing flag instead of silently attacking the wrong circuit.
-    let locked = if quick && args.opt("locked").is_none() && args.opt("oracle").is_none() {
+    let builtin = quick && args.opt("locked").is_none() && args.opt("oracle").is_none();
+    // The lock-construction seed, recorded by --store (0 for external
+    // netlists, whose construction the CLI never saw).
+    let lock_seed: u64 = if builtin { 0x5327 } else { 0 };
+    let locked = if builtin {
         // Bounded smoke configuration: lock the built-in s27 and attack it,
         // so `cutelock attack --quick` works with no files at all.
         eprintln!("--quick without --locked: attacking a built-in Cute-Lock-Str s27");
@@ -340,7 +359,7 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         .with_budget(budget)
         .with_portfolio(portfolio)
         .with_simplify(!args.has("no-simplify"));
-    let outcome = if strategy == AttackStrategy::Race {
+    let report = if strategy == AttackStrategy::Race {
         let race = run_race(&locked, &spec);
         for (s, report) in &race.reports {
             println!("  {:<4} {report}", s.name());
@@ -349,11 +368,11 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
             Some(w) => println!("race: winner={} {}", w.name(), race.report),
             None => println!("race: no decisive verdict; best was {}", race.report),
         }
-        race.report.outcome
+        race.report
     } else {
         let report = run_attack(&locked, &spec);
         println!("{mode}: {report}");
-        report.outcome
+        report
     };
     if args.has("verbose") {
         // The ledger totals are deterministic (DETERMINISM.md Rule 7), so
@@ -361,6 +380,16 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
         let (exported, imported, dups) = spec.portfolio.share_stats();
         println!("shared: exported={exported} imported={imported} dup_dropped={dups}");
     }
+    // --store PATH: append this run to the columnar run database. Every
+    // recorded column is deterministic (elapsed only under --virtual-clock:
+    // DETERMINISM.md Rule 9), so repeated identical runs append identical
+    // rows and two fresh runs produce byte-identical store files.
+    if let Some(store_path) = args.opt("store") {
+        let rec = RunRecord::from_run(locked.netlist.name(), lock_seed, &locked, &spec, &report);
+        write_records(store_path, &[rec]).map_err(|e| format!("{store_path}: {e}"))?;
+        eprintln!("recorded 1 run in {store_path}");
+    }
+    let outcome = report.outcome;
     if AttackSpec::is_decisive(&outcome) {
         Ok(())
     } else {
@@ -368,6 +397,175 @@ fn cmd_attack(argv: &[String]) -> Result<(), String> {
             "attack verdict not decisive: {outcome} (a refuted key, FAIL, or timeout \
              settles nothing)"
         ))
+    }
+}
+
+/// `cutelock report`: query the columnar run database `--store` writes —
+/// equality filters, group-by with deterministic group ordering, median /
+/// percentile summaries, perf-trajectory baselines (`--emit-bench`), and a
+/// regression gate (`--compare-baseline`, nonzero exit on a median past the
+/// threshold).
+fn cmd_report(argv: &[String]) -> Result<(), String> {
+    use cutelock_store::format::read_table;
+    use cutelock_store::trajectory::{compare, parse_json, to_json, BenchEntry};
+    use cutelock_store::{query, ColumnType, Value};
+
+    let args = Args::parse(argv, &[])?;
+    let store_path = args.req("store")?;
+    let table = read_table(store_path).map_err(|e| format!("{store_path}: {e}"))?;
+
+    // Default metric: attack stores carry `conflicts`, bench stores carry
+    // `median_ns`; anything else needs an explicit --metric.
+    let metric = match args.opt("metric") {
+        Some(m) => m.to_string(),
+        None if table.schema().index_of("conflicts").is_some() => "conflicts".to_string(),
+        None if table.schema().index_of("median_ns").is_some() => "median_ns".to_string(),
+        None => {
+            return Err(
+                "--metric required: store has neither a `conflicts` nor a `median_ns` column"
+                    .into(),
+            )
+        }
+    };
+
+    // --where circuit=s27,strategy=sat — equality filters, values parsed
+    // against the column's declared type.
+    let mut filters: Vec<(String, Value)> = Vec::new();
+    if let Some(spec) = args.opt("where") {
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (col, raw) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--where: `{pair}` is not col=value"))?;
+            let ty = table
+                .schema()
+                .type_of(col)
+                .ok_or_else(|| format!("--where: unknown column `{col}`"))?;
+            let value = match ty {
+                ColumnType::U64 => Value::U64(
+                    raw.parse()
+                        .map_err(|_| format!("--where: `{raw}` is not a u64 for `{col}`"))?,
+                ),
+                ColumnType::F64 => Value::F64(
+                    raw.parse()
+                        .map_err(|_| format!("--where: `{raw}` is not an f64 for `{col}`"))?,
+                ),
+                ColumnType::Bool => Value::Bool(
+                    raw.parse()
+                        .map_err(|_| format!("--where: `{raw}` is not a bool for `{col}`"))?,
+                ),
+                ColumnType::Str => Value::str(raw),
+            };
+            filters.push((col.to_string(), value));
+        }
+    }
+    let filters_ref: Vec<(&str, Value)> = filters
+        .iter()
+        .map(|(c, v)| (c.as_str(), v.clone()))
+        .collect();
+
+    let group_cols: Vec<&str> = args
+        .opt("group-by")
+        .map(|s| s.split(',').filter(|p| !p.is_empty()).collect())
+        .unwrap_or_default();
+
+    let mut percentiles: Vec<f64> = Vec::new();
+    if let Some(spec) = args.opt("percentiles") {
+        for p in spec.split(',').filter(|p| !p.is_empty()) {
+            percentiles.push(
+                p.parse()
+                    .map_err(|_| format!("--percentiles: `{p}` is not a number"))?,
+            );
+        }
+    }
+
+    let groups = query::group_by(&table, &group_cols, &metric, &filters_ref, &percentiles)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{store_path}: {} rows, {} group(s), metric `{metric}`",
+        table.rows(),
+        groups.len()
+    );
+    for g in &groups {
+        let label = group_label(&g.key);
+        let ps: String = g
+            .percentiles
+            .iter()
+            .map(|(p, v)| format!(" p{p:.0}={v}"))
+            .collect();
+        println!(
+            "  {label}: count={} median={} min={} max={}{ps}",
+            g.count, g.median, g.min, g.max
+        );
+    }
+
+    // --emit-bench FILE --tag TAG: freeze the group medians as a
+    // perf-trajectory baseline.
+    if let Some(out) = args.opt("emit-bench") {
+        let tag = args.opt("tag").unwrap_or("baseline");
+        let entries: Vec<BenchEntry> = groups
+            .iter()
+            .map(|g| BenchEntry {
+                tag: tag.to_string(),
+                group: group_label(&g.key),
+                metric: metric.clone(),
+                count: g.count as u64,
+                median: g.median,
+                min: g.min,
+                max: g.max,
+            })
+            .collect();
+        fs::write(out, to_json(&entries)).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {} baseline entr(ies) to {out}", entries.len());
+    }
+
+    // --compare-baseline FILE [--threshold PCT]: the regression gate.
+    if let Some(base_path) = args.opt("compare-baseline") {
+        let threshold: f64 = args.num("threshold", 10.0)?;
+        let text = fs::read_to_string(base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let baseline = parse_json(&text).map_err(|e| format!("{base_path}: {e}"))?;
+        let current: Vec<BenchEntry> = groups
+            .iter()
+            .map(|g| BenchEntry {
+                tag: String::new(),
+                group: group_label(&g.key),
+                metric: metric.clone(),
+                count: g.count as u64,
+                median: g.median,
+                min: g.min,
+                max: g.max,
+            })
+            .collect();
+        let regressions = compare(&baseline, &current, threshold);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!(
+                    "REGRESSION {}: {} median {} vs baseline {} (threshold {threshold}%)",
+                    r.group, r.metric, r.current, r.baseline
+                );
+            }
+            return Err(format!(
+                "{} group(s) regressed past {threshold}% of {base_path}",
+                regressions.len()
+            ));
+        }
+        println!(
+            "no regression: {} group(s) within {threshold}% of {base_path}",
+            current.len()
+        );
+    }
+    Ok(())
+}
+
+/// A group's key cells joined with `/` (`all` for the global group).
+fn group_label(key: &[cutelock_store::Value]) -> String {
+    if key.is_empty() {
+        "all".to_string()
+    } else {
+        key.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/")
     }
 }
 

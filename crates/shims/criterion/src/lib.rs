@@ -112,42 +112,32 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    fn from_samples(mut samples: Vec<Duration>, warm_up_iters: u64) -> Option<Self> {
+    fn from_samples(samples: Vec<Duration>, warm_up_iters: u64) -> Option<Self> {
         if samples.is_empty() {
             return None;
         }
-        samples.sort();
-        let n = samples.len();
+        // The order statistics live in `cutelock_store::agg` (which the
+        // `cutelock report` command also uses), so bench output and saved
+        // baselines can never disagree on what a median is. `agg` widens
+        // internally to u128, matching Duration's own nanosecond math.
+        let mut nanos: Vec<u64> = samples
+            .iter()
+            .map(|s| u64::try_from(s.as_nanos()).unwrap_or(u64::MAX))
+            .collect();
+        nanos.sort_unstable();
+        let n = nanos.len();
         // Tukey fences: reject samples outside [Q1 - 1.5*IQR, Q3 + 1.5*IQR]
         // so one scheduler hiccup cannot drag the median of a small sample
         // set. The quartile samples themselves always sit inside the
         // fences, so the kept set is never empty.
-        let kept: Vec<Duration> = if n >= 5 {
-            let q1 = samples[n / 4];
-            let q3 = samples[(3 * n) / 4];
-            let iqr = q3.saturating_sub(q1);
-            let lo = q1.saturating_sub(iqr * 3 / 2);
-            let hi = q3 + iqr * 3 / 2;
-            samples
-                .iter()
-                .copied()
-                .filter(|&s| s >= lo && s <= hi)
-                .collect()
-        } else {
-            samples.clone()
-        };
-        let k = kept.len();
-        let median = if k % 2 == 1 {
-            kept[k / 2]
-        } else {
-            (kept[k / 2 - 1] + kept[k / 2]) / 2
-        };
+        let kept = cutelock_store::agg::tukey_keep_u64(&nanos);
+        let median = cutelock_store::agg::median_u64(kept).expect("kept set non-empty");
         Some(Self {
-            median,
-            min: samples[0],
-            max: samples[n - 1],
+            median: Duration::from_nanos(median),
+            min: Duration::from_nanos(nanos[0]),
+            max: Duration::from_nanos(nanos[n - 1]),
             samples: n,
-            outliers: n - k,
+            outliers: n - kept.len(),
             warm_up_iters,
         })
     }
@@ -420,7 +410,54 @@ fn run_one(
         }
         None => println!("{name}: no measurement (Bencher::iter never called)"),
     }
+    if let (Some(m), Ok(path)) = (&b.result, std::env::var("CUTELOCK_BENCH_STORE")) {
+        if let Err(e) = store_measurement(&path, name, m) {
+            eprintln!("warning: CUTELOCK_BENCH_STORE={path}: {e}");
+        }
+    }
     b.result
+}
+
+/// The store schema bench measurements persist under when
+/// `CUTELOCK_BENCH_STORE` points at a store file. Wall-clock nanoseconds
+/// are inherently machine-dependent; these rows feed trend reports, not
+/// byte-identity goldens (`docs/DETERMINISM.md` Rule 9).
+pub fn bench_store_schema() -> cutelock_store::Schema {
+    use cutelock_store::ColumnType;
+    cutelock_store::Schema::new(&[
+        ("group", ColumnType::Str),
+        ("bench", ColumnType::Str),
+        ("median_ns", ColumnType::U64),
+        ("min_ns", ColumnType::U64),
+        ("max_ns", ColumnType::U64),
+        ("samples", ColumnType::U64),
+        ("outliers", ColumnType::U64),
+        ("warm_up_iters", ColumnType::U64),
+    ])
+}
+
+fn store_measurement(
+    path: &str,
+    name: &str,
+    m: &Measurement,
+) -> Result<(), cutelock_store::StoreError> {
+    use cutelock_store::Value;
+    let (group, bench) = match name.split_once('/') {
+        Some((g, b)) => (g, b),
+        None => ("", name),
+    };
+    let mut w = cutelock_store::format::Writer::open(path, bench_store_schema())?;
+    w.push(&[
+        Value::str(group),
+        Value::str(bench),
+        Value::U64(u64::try_from(m.median.as_nanos()).unwrap_or(u64::MAX)),
+        Value::U64(u64::try_from(m.min.as_nanos()).unwrap_or(u64::MAX)),
+        Value::U64(u64::try_from(m.max.as_nanos()).unwrap_or(u64::MAX)),
+        Value::U64(m.samples as u64),
+        Value::U64(m.outliers as u64),
+        Value::U64(m.warm_up_iters),
+    ])?;
+    w.finish()
 }
 
 /// Bundle benchmark functions into a runnable group, mirroring
@@ -586,5 +623,47 @@ mod tests {
         assert_eq!(speedup_label(ms(50), ms(100)), "x2.00 slower");
         assert_eq!(speedup_label(ms(100), ms(100)), "no change");
         assert_eq!(speedup_label(Duration::ZERO, ms(1)), "no change");
+    }
+
+    #[test]
+    fn store_measurement_appends_bench_rows() {
+        // Call the store hook directly (rather than through the
+        // `CUTELOCK_BENCH_STORE` env var, which would race with the other
+        // tests running benches in parallel).
+        use cutelock_store::Value;
+        let path = std::env::temp_dir().join(format!(
+            "cutelock-shim-store-{}-{:?}.clk",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        let m = Measurement {
+            median: Duration::from_nanos(1_234),
+            min: Duration::from_nanos(1_000),
+            max: Duration::from_nanos(9_999),
+            samples: 7,
+            outliers: 1,
+            warm_up_iters: 3,
+        };
+        store_measurement(&path_str, "grp/bench_name", &m).unwrap();
+        store_measurement(&path_str, "bare", &m).unwrap(); // no '/': empty group
+
+        let t = cutelock_store::format::read_table(&path_str).unwrap();
+        assert_eq!(t.schema(), &bench_store_schema());
+        assert_eq!(t.rows(), 2, "re-opening the store appends");
+        assert_eq!(t.value(0, 0), Value::str("grp"));
+        assert_eq!(t.value(0, 1), Value::str("bench_name"));
+        assert_eq!(t.value(0, 2), Value::U64(1_234));
+        assert_eq!(t.value(0, 3), Value::U64(1_000));
+        assert_eq!(t.value(0, 4), Value::U64(9_999));
+        assert_eq!(t.value(0, 5), Value::U64(7));
+        assert_eq!(t.value(0, 6), Value::U64(1));
+        assert_eq!(t.value(0, 7), Value::U64(3));
+        assert_eq!(t.value(1, 0), Value::str(""));
+        assert_eq!(t.value(1, 1), Value::str("bare"));
+
+        let _ = std::fs::remove_file(&path);
     }
 }

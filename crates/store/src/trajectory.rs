@@ -1,0 +1,267 @@
+//! Pinned perf trajectories: the `BENCH_<tag>.json` files that
+//! `cutelock report --emit-bench` writes and `--compare-baseline` gates
+//! against.
+//!
+//! The format is deliberately tiny — a flat JSON array of per-group
+//! summaries — so it diffs cleanly in review and survives hand-editing in
+//! CI (the regression-gate test doctors a median on purpose). Numbers are
+//! written with `{:?}`-style float formatting (integral values get their
+//! trailing `.0` stripped), which round-trips exactly.
+
+use crate::StoreError;
+
+/// One baseline entry: a group's summary of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// The trajectory tag (e.g. `pr10`).
+    pub tag: String,
+    /// The group key, joined with `/` (e.g. `s27/CuteLockBeh`).
+    pub group: String,
+    /// The metric column the numbers summarize.
+    pub metric: String,
+    /// Rows behind the summary.
+    pub count: u64,
+    /// Median metric value.
+    pub median: f64,
+    /// Smallest metric value.
+    pub min: f64,
+    /// Largest metric value.
+    pub max: f64,
+}
+
+/// One regression found by [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `group` of the offending entry.
+    pub group: String,
+    /// `metric` of the offending entry.
+    pub metric: String,
+    /// The baseline median.
+    pub baseline: f64,
+    /// The current median.
+    pub current: f64,
+}
+
+/// Serializes entries as a stable, pretty-printed JSON array.
+pub fn to_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"tag\": {},\n", quote(&e.tag)));
+        out.push_str(&format!("    \"group\": {},\n", quote(&e.group)));
+        out.push_str(&format!("    \"metric\": {},\n", quote(&e.metric)));
+        out.push_str(&format!("    \"count\": {},\n", e.count));
+        out.push_str(&format!("    \"median\": {},\n", fmt_f64(e.median)));
+        out.push_str(&format!("    \"min\": {},\n", fmt_f64(e.min)));
+        out.push_str(&format!("    \"max\": {}\n", fmt_f64(e.max)));
+        out.push_str(if i + 1 == entries.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses what [`to_json`] writes (plus whitespace/ordering slack): a flat
+/// array of objects with string and number fields, no nesting.
+pub fn parse_json(text: &str) -> Result<Vec<BenchEntry>, StoreError> {
+    let mut entries = Vec::new();
+    let bad = |m: &str| StoreError::Corrupt(format!("bench json: {m}"));
+    let mut rest = text.trim();
+    rest = rest
+        .strip_prefix('[')
+        .ok_or_else(|| bad("expected a top-level array"))?
+        .trim_start();
+    loop {
+        rest = rest.trim_start_matches(',').trim_start();
+        if let Some(tail) = rest.strip_prefix(']') {
+            if !tail.trim().is_empty() {
+                return Err(bad("trailing garbage after the array"));
+            }
+            return Ok(entries);
+        }
+        rest = rest
+            .strip_prefix('{')
+            .ok_or_else(|| bad("expected an object"))?;
+        let end = rest.find('}').ok_or_else(|| bad("unterminated object"))?;
+        let body = &rest[..end];
+        rest = rest[end + 1..].trim_start();
+
+        let mut tag = None;
+        let mut group = None;
+        let mut metric = None;
+        let mut count = None;
+        let mut median = None;
+        let mut min = None;
+        let mut max = None;
+        for field in split_fields(body) {
+            let (key, val) = field
+                .split_once(':')
+                .ok_or_else(|| bad("field without ':'"))?;
+            let key = unquote(key.trim()).ok_or_else(|| bad("unquoted field name"))?;
+            let val = val.trim();
+            match key {
+                "tag" => tag = Some(unquote(val).ok_or_else(|| bad("tag not a string"))?),
+                "group" => group = Some(unquote(val).ok_or_else(|| bad("group not a string"))?),
+                "metric" => metric = Some(unquote(val).ok_or_else(|| bad("metric not a string"))?),
+                "count" => count = Some(val.parse::<u64>().map_err(|_| bad("bad count"))?),
+                "median" => median = Some(val.parse::<f64>().map_err(|_| bad("bad median"))?),
+                "min" => min = Some(val.parse::<f64>().map_err(|_| bad("bad min"))?),
+                "max" => max = Some(val.parse::<f64>().map_err(|_| bad("bad max"))?),
+                _ => {} // unknown fields are forward-compatible
+            }
+        }
+        entries.push(BenchEntry {
+            tag: tag.ok_or_else(|| bad("missing tag"))?.to_string(),
+            group: group.ok_or_else(|| bad("missing group"))?.to_string(),
+            metric: metric.ok_or_else(|| bad("missing metric"))?.to_string(),
+            count: count.ok_or_else(|| bad("missing count"))?,
+            median: median.ok_or_else(|| bad("missing median"))?,
+            min: min.ok_or_else(|| bad("missing min"))?,
+            max: max.ok_or_else(|| bad("missing max"))?,
+        });
+    }
+}
+
+/// Medians that regressed past `threshold_pct`: every `(group, metric)`
+/// present in both sets where `current > baseline * (1 + threshold/100)`.
+/// Groups present only on one side are ignored (new benches are not
+/// regressions; removed ones are caught in review).
+pub fn compare(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in baseline {
+        let Some(cur) = current
+            .iter()
+            .find(|c| c.group == base.group && c.metric == base.metric)
+        else {
+            continue;
+        };
+        let limit = base.median * (1.0 + threshold_pct / 100.0);
+        if cur.median > limit {
+            out.push(Regression {
+                group: base.group.clone(),
+                metric: base.metric.clone(),
+                baseline: base.median,
+                current: cur.median,
+            });
+        }
+    }
+    out
+}
+
+/// Formats a float so `parse::<f64>` round-trips it exactly; integers get a
+/// trailing `.0` stripped off for stable, diff-friendly output.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Splits an object body into fields at top-level commas (string values in
+/// this format never contain commas inside quotes except group names — so
+/// split respecting quotes).
+fn split_fields(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(group: &str, median: f64) -> BenchEntry {
+        BenchEntry {
+            tag: "t".into(),
+            group: group.into(),
+            metric: "conflicts".into(),
+            count: 3,
+            median,
+            min: median / 2.0,
+            max: median * 2.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let entries = vec![entry("s27/beh", 120.0), entry("b01/str", 7.5)];
+        let text = to_json(&entries);
+        assert_eq!(parse_json(&text).unwrap(), entries);
+        assert_eq!(parse_json("[]").unwrap(), vec![]);
+        assert_eq!(parse_json("[\n]\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(parse_json("{}").is_err());
+        assert!(parse_json("[{\"tag\": \"t\"}]").is_err(), "missing fields");
+        assert!(parse_json("[{]").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = vec![entry("a", 100.0), entry("b", 100.0), entry("c", 100.0)];
+        let cur = vec![
+            entry("a", 109.0), // within 10%
+            entry("b", 111.0), // past 10%
+            entry("d", 999.0), // new group: ignored
+        ];
+        let regs = compare(&base, &cur, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].group, "b");
+        assert_eq!(regs[0].baseline, 100.0);
+        assert_eq!(regs[0].current, 111.0);
+    }
+
+    #[test]
+    fn doctored_negative_baseline_always_fires() {
+        // CI replaces a median with -1: any real (>= 0) current median must
+        // then read as a regression, even a zero.
+        let base = vec![BenchEntry {
+            median: -1.0,
+            ..entry("a", 0.0)
+        }];
+        let cur = vec![entry("a", 0.0)];
+        assert_eq!(compare(&base, &cur, 10.0).len(), 1);
+    }
+}

@@ -59,6 +59,7 @@ pub use cutelock_jobs as jobs;
 pub use cutelock_netlist as netlist;
 pub use cutelock_sat as sat;
 pub use cutelock_sim as sim;
+pub use cutelock_store as store;
 pub use cutelock_synth as synth;
 
 /// The most common imports in one place.
